@@ -1,0 +1,79 @@
+// Ablation — SATIN's randomization knobs (§V-C, §V-D).
+//
+// (a) Strictly periodic wake-ups fall to a *prediction* attack that needs
+//     no side channel at all.
+// (b) Randomized wake-ups defeat the same oracle schedule.
+// (c) Pinning introspection to one core quarters the attacker's probing
+//     threshold (faster, more reliable detection of the defender).
+#include "attack/predictor.h"
+#include "attack/threshold_sampler.h"
+#include "bench/common.h"
+#include "core/satin.h"
+#include "scenario/scenario.h"
+#include "sim/stats.h"
+
+namespace satin {
+namespace {
+
+// An oracle attacker that memorized the period: hides 20 ms before every
+// k*period mark, re-arms 200 ms after. Returns alarms/rounds.
+std::pair<std::uint64_t, std::uint64_t> oracle_attack(bool randomize_wake,
+                                                      int seconds) {
+  scenario::Scenario s;
+  core::SatinConfig config;
+  config.multi_core = false;
+  config.fixed_core = 5;
+  config.randomize_wake = randomize_wake;
+  config.tp_s = 1.0;
+  core::Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+  satin.start();
+  attack::PredictionConfig prediction;
+  prediction.horizon_rounds = seconds;
+  attack::PeriodicPredictionAttacker attacker(s.os(), prediction);
+  attacker.deploy();
+  s.run_for(sim::Duration::from_sec(seconds + 1));
+  satin.stop();
+  return {satin.alarm_count(), satin.rounds()};
+}
+
+}  // namespace
+}  // namespace satin
+
+int main() {
+  using namespace satin;
+  bench::heading("Ablation: randomization knobs");
+
+  // The randomized run is longer so area 14 gets several checks.
+  const auto periodic = oracle_attack(false, 60);
+  const auto randomized = oracle_attack(true, 150);
+  bench::subheading("(a)/(b) prediction attack vs wake-up policy");
+  bench::text_row("periodic: alarms/rounds",
+                  std::to_string(periodic.first) + "/" +
+                      std::to_string(periodic.second),
+                  "(predictable => evaded)");
+  bench::text_row("randomized: alarms/rounds",
+                  std::to_string(randomized.first) + "/" +
+                      std::to_string(randomized.second),
+                  "(oracle schedule misfires)");
+
+  bench::subheading("(c) probing threshold: fixed core vs all cores");
+  hw::TimingParams timing;
+  for (double period : {8.0, 120.0}) {
+    attack::ThresholdSampler all(timing.cross_core, sim::Rng(3), 6);
+    attack::ThresholdSampler one(timing.cross_core, sim::Rng(3), 1);
+    sim::Accumulator acc_all, acc_one;
+    for (int i = 0; i < 200; ++i) {
+      acc_all.add(all.sample_window_max_seconds(period));
+      acc_one.add(one.sample_window_max_seconds(period));
+    }
+    bench::sci_row("period " + std::to_string(static_cast<int>(period)) + " s",
+                   {acc_one.mean(), acc_all.mean(),
+                    acc_one.mean() / acc_all.mean()},
+                   "(fixed-core, all-core, ratio; paper: ~1/4)");
+  }
+  std::printf(
+      "\na predictable CPU affinity hands the attacker a 4x sharper\n"
+      "side channel (§IV-B2) — SATIN therefore randomizes the core, the\n"
+      "wake time AND the area (§V).\n");
+  return 0;
+}

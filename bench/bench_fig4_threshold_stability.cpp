@@ -1,0 +1,40 @@
+// Fig. 4 — KProber Probing Threshold Stability.
+//
+// Box-and-whisker statistics of the 50-window thresholds per probing
+// period: medians rise with the period, whiskers "only go up slightly",
+// and only the 300 s column grows a few >1e-3 s outliers.
+#include "attack/threshold_sampler.h"
+#include "bench/common.h"
+#include "sim/stats.h"
+
+int main() {
+  using namespace satin;
+  hw::TimingParams timing;
+  attack::ThresholdSampler sampler(timing.cross_core, sim::Rng(4), 6);
+
+  bench::heading("Fig. 4: KProber probing-threshold stability (s)");
+  bench::columns("Period",
+                 {"whisk-lo", "Q1", "median", "Q3", "whisk-hi", "outliers"});
+  for (double period : {8.0, 16.0, 30.0, 120.0, 300.0}) {
+    std::vector<double> samples;
+    for (int i = 0; i < 50; ++i) {
+      samples.push_back(sampler.sample_window_max_seconds(period));
+    }
+    const sim::BoxStats box = sim::make_box_stats(samples);
+    int over_1ms = 0;
+    for (double o : box.outliers) {
+      if (o > 1e-3) ++over_1ms;
+    }
+    bench::sci_row(std::to_string(static_cast<int>(period)) + " s",
+                   {box.whisker_low, box.q1, box.median, box.q3,
+                    box.whisker_high,
+                    static_cast<double>(box.outliers.size())},
+                   over_1ms > 0 ? "(" + std::to_string(over_1ms) +
+                                      " outliers > 1e-3 s)"
+                                : "");
+  }
+  std::printf(
+      "\npaper: medians rise 2.6e-4 -> 6.6e-4 with the period; upper\n"
+      "whiskers rise only slightly; few >1e-3 s outliers at 300 s.\n");
+  return 0;
+}

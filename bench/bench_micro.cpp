@@ -1,0 +1,86 @@
+// Micro-benchmarks (google-benchmark): the real computational kernels of
+// the simulator — hash functions over kernel-sized buffers, event-queue
+// throughput, TOCTTOU scan bookkeeping.
+#include <benchmark/benchmark.h>
+
+#include "hw/memory.h"
+#include "secure/hash.h"
+#include "sim/engine.h"
+#include "sim/rng.h"
+
+namespace {
+
+std::vector<std::uint8_t> make_buffer(std::size_t size) {
+  std::vector<std::uint8_t> buf(size);
+  satin::sim::Rng rng(1);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+  return buf;
+}
+
+void BM_HashDjb2(benchmark::State& state) {
+  const auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(satin::secure::hash_djb2(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashDjb2)->Arg(4096)->Arg(431360)->Arg(876616);
+
+void BM_HashFnv1a(benchmark::State& state) {
+  const auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(satin::secure::hash_fnv1a(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashFnv1a)->Arg(4096)->Arg(876616);
+
+void BM_HashSdbm(benchmark::State& state) {
+  const auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(satin::secure::hash_sdbm(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashSdbm)->Arg(4096)->Arg(876616);
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  satin::sim::Engine engine;
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    engine.schedule_after(satin::sim::Duration::from_ns(++n), [] {});
+    engine.step();
+  }
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_MemoryTimedWriteUnderScan(benchmark::State& state) {
+  satin::hw::Memory memory(1 << 20);
+  auto token =
+      memory.begin_scan(satin::sim::Time::zero(), 0, 1 << 20, 1.0e6);
+  const std::vector<std::uint8_t> data(8, 0xAB);
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    memory.write(satin::sim::Time::from_ns(1), offset, data);
+    offset = (offset + 64) & ((1 << 20) - 64);
+  }
+  memory.cancel_scan(token);
+}
+BENCHMARK(BM_MemoryTimedWriteUnderScan);
+
+void BM_ScanBeginFinish(benchmark::State& state) {
+  satin::hw::Memory memory(1 << 20);
+  for (auto _ : state) {
+    auto token =
+        memory.begin_scan(satin::sim::Time::zero(), 0, 1 << 20, 1.0e6);
+    benchmark::DoNotOptimize(memory.finish_scan(token));
+  }
+}
+BENCHMARK(BM_ScanBeginFinish);
+
+}  // namespace
+
+BENCHMARK_MAIN();

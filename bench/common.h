@@ -1,0 +1,45 @@
+// Shared output helpers for the reproduction benches.
+//
+// Every bench prints the paper's rows next to the simulator's, so the
+// shape comparison (who wins, by what factor, where crossovers fall) is
+// visible at a glance; EXPERIMENTS.md records the same numbers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace satin::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+}
+
+// A labelled row of scientific values with an optional paper reference.
+inline void sci_row(const std::string& label, std::vector<double> values,
+                    const std::string& note = "") {
+  std::printf("%-26s", label.c_str());
+  for (double v : values) std::printf("  %11.3e", v);
+  if (!note.empty()) std::printf("   %s", note.c_str());
+  std::printf("\n");
+}
+
+inline void text_row(const std::string& label, const std::string& value,
+                     const std::string& note = "") {
+  std::printf("%-26s  %18s", label.c_str(), value.c_str());
+  if (!note.empty()) std::printf("   %s", note.c_str());
+  std::printf("\n");
+}
+
+inline void columns(const std::string& label,
+                    const std::vector<std::string>& cols) {
+  std::printf("%-26s", label.c_str());
+  for (const auto& c : cols) std::printf("  %11s", c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace satin::bench

@@ -1,0 +1,55 @@
+// TZ-Evader vs. a state-of-the-art periodic checker (§III/§IV).
+//
+// The defender is a PKM-style whole-kernel measurement on a random core
+// at randomized times — the strongest pre-SATIN configuration. TZ-Evader
+// senses every secure-world entry through the core-availability side
+// channel and hides its traces while the scan is still crawling toward
+// them. Run with -v for the play-by-play narration.
+//
+//   $ ./examples/evasion_attack [-v]
+#include <cstdio>
+#include <cstring>
+
+#include "core/satin.h"
+#include "scenario/experiments.h"
+#include "sim/log.h"
+
+int main(int argc, char** argv) {
+  using namespace satin;
+  if (argc > 1 && std::strcmp(argv[1], "-v") == 0) {
+    sim::set_log_level(sim::LogLevel::kInfo);
+  }
+
+  scenario::Scenario system;
+  scenario::DuelConfig duel;
+  duel.satin = core::make_pkm_baseline_config(/*period_s=*/4.0,
+                                              /*random_core=*/true,
+                                              /*random_time=*/true);
+  duel.rounds_target = 15;
+
+  std::printf("defender: whole-kernel hash every ~4 s, random core,\n");
+  std::printf("          randomized wake time (pre-SATIN state of the art)\n");
+  std::printf("attacker: TZ-Evader = GETTID rootkit + KProber-II\n");
+  std::printf("          (SCHED_FIFO prio 99, threshold 1.8e-3 s)\n\n");
+
+  const auto report = scenario::run_duel(system, duel);
+
+  std::printf("introspection rounds:        %llu\n",
+              static_cast<unsigned long long>(report.rounds));
+  std::printf("rounds noticed by prober:    %llu (FN: %llu, FP: %llu)\n",
+              static_cast<unsigned long long>(report.prober_detections),
+              static_cast<unsigned long long>(report.false_negatives),
+              static_cast<unsigned long long>(report.false_positives));
+  std::printf("evasions (hide-then-rearm):  %llu\n",
+              static_cast<unsigned long long>(report.evasions_started));
+  std::printf("alarms raised:               %llu\n",
+              static_cast<unsigned long long>(report.alarms));
+  std::printf("\n%s\n",
+              report.evader_always_escaped()
+                  ? "the attacker evaded every scan: the hijacked entry sits "
+                    "~9.5 MB\ninto the pass, but the traces are gone ~8 ms "
+                    "after the scan starts.\n(~90% of the kernel is "
+                    "unprotected this way — §IV-C)"
+                  : "unexpected: the baseline caught the evader");
+  return report.evader_always_escaped() ? 0 : 1;
+}

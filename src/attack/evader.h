@@ -1,0 +1,75 @@
+// TZ-Evader: the multi-core evasion attack (§III-C).
+//
+// Couples a persistent rootkit with a kernel-level prober. While no core
+// looks secure-world-held the attack stays armed; the instant the prober
+// flags a core, the evader starts removing its traces from a core that is
+// still in the normal world; once every core reports again (introspection
+// over) it waits a beat and re-arms. Whether an introspection round
+// catches it is decided byte-by-byte by the memory race, not by a flag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "attack/prober.h"
+#include "attack/rootkit.h"
+#include "os/rich_os.h"
+
+namespace satin::attack {
+
+struct EvaderConfig {
+  KProberConfig prober;
+  // Pause after the coast clears before re-installing the traces.
+  double rearm_delay_s = 0.02;
+  // Core whose speed governs trace recovery; unset = slowest available
+  // normal-world core at detection time (conservative, like the paper's
+  // worst case of an A53 doing the cleanup).
+  std::optional<hw::CoreId> cleanup_core;
+  // Install the rootkit immediately at deploy.
+  bool auto_install = true;
+};
+
+class TzEvader {
+ public:
+  TzEvader(os::RichOs& os, EvaderConfig config);
+
+  // Plants the rootkit (GETTID hijack) and deploys the prober.
+  void deploy();
+
+  Rootkit& rootkit() { return rootkit_; }
+  KProber& prober() { return prober_; }
+
+  // Attack currently exposing traces in kernel memory.
+  bool armed() const { return rootkit_.installed(); }
+
+  // Optional observer invoked on every prober detection, in addition to
+  // the evader's own reaction (experiment harnesses correlate these with
+  // ground-truth secure-world activity).
+  void set_detect_observer(KProber::DetectFn fn) {
+    observer_ = std::move(fn);
+  }
+
+  std::uint64_t evasions_started() const { return evasions_; }
+  std::uint64_t rearms() const { return rearms_; }
+  // Introspection entries the prober noticed (for the 0-FN check).
+  std::uint64_t detections_observed() const {
+    return prober_.detection_count();
+  }
+
+ private:
+  void on_detect(hw::CoreId core, sim::Time when, sim::Duration staleness);
+  void on_clear(hw::CoreId core, sim::Time when);
+  void try_rearm();
+  hw::CoreType cleanup_core_type(hw::CoreId flagged_core) const;
+
+  os::RichOs& os_;
+  EvaderConfig config_;
+  Rootkit rootkit_;
+  KProber prober_;
+  KProber::DetectFn observer_;
+  bool deployed_ = false;
+  std::uint64_t evasions_ = 0;
+  std::uint64_t rearms_ = 0;
+};
+
+}  // namespace satin::attack

@@ -1,0 +1,51 @@
+#include "attack/predictor.h"
+
+#include <stdexcept>
+
+namespace satin::attack {
+
+PeriodicPredictionAttacker::PeriodicPredictionAttacker(os::RichOs& os,
+                                                       PredictionConfig config)
+    : os_(os),
+      config_(config),
+      rootkit_(os, os.platform().rng().fork("prediction-attacker")) {
+  if (config.period_s <= 0.0) {
+    throw std::invalid_argument("PredictionConfig: period");
+  }
+  if (config.hide_lead_s < 0.0 || config.rearm_lag_s < 0.0) {
+    throw std::invalid_argument("PredictionConfig: lead/lag");
+  }
+  rootkit_.add_gettid_trace();
+}
+
+void PeriodicPredictionAttacker::deploy() {
+  if (deployed_) {
+    throw std::logic_error("PeriodicPredictionAttacker: already deployed");
+  }
+  deployed_ = true;
+  rootkit_.install();
+  sim::Engine& engine = os_.platform().engine();
+  const sim::Time now = engine.now();
+  for (int k = 1; k <= config_.horizon_rounds; ++k) {
+    const sim::Time wake =
+        sim::Time::from_sec_f(config_.phase_s + k * config_.period_s);
+    const sim::Time hide_at =
+        wake - sim::Duration::from_sec_f(config_.hide_lead_s);
+    if (hide_at <= now) continue;
+    engine.schedule_at(hide_at, [this] {
+      if (rootkit_.installed() && !rootkit_.recovering()) {
+        ++hides_;
+        rootkit_.begin_recovery(config_.cleanup_core, [] {});
+      }
+    });
+    engine.schedule_at(wake + sim::Duration::from_sec_f(config_.rearm_lag_s),
+                       [this] {
+                         if (!rootkit_.installed() && !rootkit_.recovering()) {
+                           ++rearms_;
+                           rootkit_.install();
+                         }
+                       });
+  }
+}
+
+}  // namespace satin::attack

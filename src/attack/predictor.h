@@ -1,0 +1,50 @@
+// Prediction-based evasion (§III-B2, §V-C motivation).
+//
+// "If it can predict the t_start, it can easily hide before the
+// introspection starts." Against a strictly periodic checker the attacker
+// needs no side channel at all: it memorizes the period and phase, hides
+// its traces shortly before every predicted wake and re-arms after. The
+// random deviation td is SATIN's answer — this attacker is the ablation
+// that shows why.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/rootkit.h"
+
+namespace satin::attack {
+
+struct PredictionConfig {
+  // The schedule the attacker believes in: wakes at phase + k * period.
+  double period_s = 1.0;
+  double phase_s = 0.0;
+  // Hide this long before each predicted wake; re-arm this long after.
+  double hide_lead_s = 0.02;
+  double rearm_lag_s = 0.2;
+  // Core type executing the cleanup.
+  hw::CoreType cleanup_core = hw::CoreType::kBigA57;
+  // Number of future rounds to schedule at deploy.
+  int horizon_rounds = 1000;
+};
+
+class PeriodicPredictionAttacker {
+ public:
+  PeriodicPredictionAttacker(os::RichOs& os, PredictionConfig config);
+
+  // Plants the GETTID rootkit and schedules the hide/re-arm cadence.
+  void deploy();
+
+  Rootkit& rootkit() { return rootkit_; }
+  std::uint64_t hides() const { return hides_; }
+  std::uint64_t rearms() const { return rearms_; }
+
+ private:
+  os::RichOs& os_;
+  PredictionConfig config_;
+  Rootkit rootkit_;
+  bool deployed_ = false;
+  std::uint64_t hides_ = 0;
+  std::uint64_t rearms_ = 0;
+};
+
+}  // namespace satin::attack

@@ -1,0 +1,66 @@
+// Persistent kernel rootkit with removable traces (§IV-A2).
+//
+// The sample attack hijacks GETTID by overwriting its 8-byte syscall-table
+// entry. Traces are real bytes in simulated kernel memory: installing
+// writes the malicious values, recovery restores the benign ones byte by
+// byte over a sampled Tns_recover (§IV-B2: A53 avg 5.80e-3 s, A57 avg
+// 4.96e-3 s), so an introspection scan racing the recovery sees exactly
+// the bytes that were (un)restored before its cursor passed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "os/rich_os.h"
+
+namespace satin::attack {
+
+struct TraceSpec {
+  std::string name;
+  std::size_t offset = 0;
+  std::vector<std::uint8_t> benign;
+  std::vector<std::uint8_t> malicious;
+};
+
+class Rootkit {
+ public:
+  Rootkit(os::RichOs& os, sim::Rng rng);
+
+  // Registers the GETTID syscall-table hijack (the paper's sample attack).
+  void add_gettid_trace();
+  void add_trace(TraceSpec trace);
+
+  const std::vector<TraceSpec>& traces() const { return traces_; }
+  // Total malicious bytes M (Eq. 1).
+  std::size_t trace_bytes() const;
+
+  // Writes all malicious bytes (the attack becomes active and detectable).
+  void install();
+  bool installed() const { return installed_; }
+  bool recovering() const { return recovering_; }
+
+  // Starts the timed trace removal, executed on a core of type `type`;
+  // bytes are restored sequentially across the sampled recovery duration
+  // and `done` fires at completion. Forbidden while already recovering.
+  void begin_recovery(hw::CoreType type, std::function<void()> done);
+
+  // Last sampled full recovery duration (diagnostics / benches).
+  sim::Duration last_recovery_duration() const { return last_recovery_; }
+
+  std::uint64_t installs() const { return installs_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+
+ private:
+  os::RichOs& os_;
+  sim::Rng rng_;
+  std::vector<TraceSpec> traces_;
+  bool installed_ = false;
+  bool recovering_ = false;
+  sim::Duration last_recovery_;
+  std::uint64_t installs_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace satin::attack

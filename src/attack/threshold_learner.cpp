@@ -1,0 +1,79 @@
+#include "attack/threshold_learner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace satin::attack {
+
+RampFilter::RampFilter(int num_cores, double stall_amplitude_s,
+                       double dip_tolerance_s)
+    : stall_amplitude_s_(stall_amplitude_s),
+      dip_tolerance_s_(dip_tolerance_s),
+      cores_(static_cast<std::size_t>(num_cores)) {
+  if (num_cores <= 0) throw std::invalid_argument("RampFilter: cores");
+  if (stall_amplitude_s <= 0.0) {
+    throw std::invalid_argument("RampFilter: amplitude");
+  }
+}
+
+void RampFilter::close_run(PerCore& pc) {
+  if (pc.run.empty()) return;
+  const double amplitude = pc.run.back() - pc.run.front();
+  if (amplitude >= stall_amplitude_s_) {
+    // A millisecond-scale monotone climb: a real secure-world stall. Its
+    // benign-looking head still bounds benign staleness; the climb does
+    // not.
+    max_benign_s_ = std::max(max_benign_s_, pc.run.front());
+    excluded_ += pc.run.size() - 1;
+  } else {
+    for (double s : pc.run) max_benign_s_ = std::max(max_benign_s_, s);
+  }
+  pc.run.clear();
+}
+
+void RampFilter::add(hw::CoreId core, double staleness_s) {
+  ++samples_;
+  max_observed_s_ = std::max(max_observed_s_, staleness_s);
+  PerCore& pc = cores_.at(static_cast<std::size_t>(core));
+  const bool continues =
+      pc.last_s >= 0.0 && staleness_s >= pc.last_s - dip_tolerance_s_;
+  if (!continues) close_run(pc);
+  pc.run.push_back(staleness_s);
+  pc.last_s = staleness_s;
+}
+
+void RampFilter::finish() {
+  for (PerCore& pc : cores_) {
+    close_run(pc);
+    pc.last_s = -1.0;
+  }
+}
+
+LearnedThreshold ThresholdLearner::learn(sim::Duration duration,
+                                         double margin) {
+  if (duration <= sim::Duration::zero()) {
+    throw std::invalid_argument("ThresholdLearner: non-positive duration");
+  }
+  KProberConfig config = base_;
+  config.threshold_s = 1e9;  // latch-free: observe, never classify
+  auto filter = std::make_shared<RampFilter>(os_.platform().num_cores());
+  config.staleness_observer = [filter](hw::CoreId core, double s) {
+    filter->add(core, s);
+  };
+  auto prober = std::make_unique<KProber>(os_, config);
+  prober->deploy();
+  os_.platform().engine().run_for(duration);
+  prober->retract();
+  retired_probers_.push_back(std::move(prober));
+  filter->finish();
+
+  LearnedThreshold result;
+  result.samples = filter->samples();
+  result.excluded = filter->excluded();
+  result.max_observed_s = filter->max_observed_s();
+  result.max_benign_s = filter->max_benign_s();
+  result.recommended_s = result.max_benign_s * margin;
+  return result;
+}
+
+}  // namespace satin::attack

@@ -1,0 +1,94 @@
+// On-victim threshold learning (§VII-B).
+//
+// "If the attacker is not able to evaluate the threshold on a fully
+// controlled device, then Tns_threshold needs to be learned from the
+// victim directly. The attacker needs to run multi-threads Time Reporter
+// and Time Comparer for a relatively long time ... For each time the
+// secure application is running, the attacker can observe the time
+// difference among all cores."
+//
+// The learner runs a latch-free prober and watches every Comparer
+// staleness sample. Samples taken while a core is genuinely secure-held
+// are not a separate cluster — they RAMP: the frozen core's staleness
+// grows monotonically, probe after probe, until the world switch back.
+// Benign staleness also saw-tooths (it ages by the inter-probe gap until
+// the next report lands), but a benign ramp's amplitude is bounded by one
+// sleep period plus the cross-core visibility tail, far below the
+// millisecond scale of any real introspection stall. The learner
+// therefore excludes monotone runs whose amplitude exceeds the shortest
+// plausible introspection stall and recommends the maximum of what
+// remains, plus a safety margin — a discrimination the attacker can make
+// with zero secure-world ground truth.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "attack/prober.h"
+
+namespace satin::attack {
+
+struct LearnedThreshold {
+  double max_observed_s = 0.0;  // absolute max, including secure stalls
+  double max_benign_s = 0.0;    // after excluding stall ramps
+  double recommended_s = 0.0;   // max_benign_s * margin
+  std::size_t samples = 0;
+  std::size_t excluded = 0;     // samples attributed to secure stalls
+};
+
+// Online per-core monotone-run filter. Consecutive samples on one core
+// form a run while they do not drop by more than `dip_tolerance_s` — the
+// largest excursion a single visibility spike can retrace, so a stall's
+// climb survives its own read jitter as one run. When a run's amplitude
+// (last - first) reaches `stall_amplitude_s`, the run is a stall ramp:
+// all samples past its benign-looking head are excluded.
+class RampFilter {
+ public:
+  RampFilter(int num_cores, double stall_amplitude_s = 2.0e-3,
+             double dip_tolerance_s = 1.6e-3);
+
+  void add(hw::CoreId core, double staleness_s);
+  // Flush open runs into the statistics.
+  void finish();
+
+  double max_benign_s() const { return max_benign_s_; }
+  double max_observed_s() const { return max_observed_s_; }
+  std::size_t samples() const { return samples_; }
+  std::size_t excluded() const { return excluded_; }
+
+ private:
+  struct PerCore {
+    double last_s = -1.0;
+    std::vector<double> run;  // samples of the current monotone run
+  };
+  void close_run(PerCore& pc);
+
+  double stall_amplitude_s_;
+  double dip_tolerance_s_;
+  std::vector<PerCore> cores_;
+  double max_benign_s_ = 0.0;
+  double max_observed_s_ = 0.0;
+  std::size_t samples_ = 0;
+  std::size_t excluded_ = 0;
+};
+
+class ThresholdLearner {
+ public:
+  // The learner must outlive no longer than the RichOs: retired probers'
+  // parked threads reference them.
+  explicit ThresholdLearner(os::RichOs& os, KProberConfig base = {})
+      : os_(os), base_(std::move(base)) {}
+
+  // Observes `duration` of probing, filters stall ramps, and returns the
+  // learned benign ceiling with the attacker's safety `margin` applied.
+  LearnedThreshold learn(sim::Duration duration, double margin = 1.05);
+
+ private:
+  os::RichOs& os_;
+  KProberConfig base_;
+  // Probers stay alive after retract(): their parked threads (owned by
+  // the rich OS) keep a reference to them.
+  std::vector<std::unique_ptr<KProber>> retired_probers_;
+};
+
+}  // namespace satin::attack

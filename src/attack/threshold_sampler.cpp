@@ -1,0 +1,25 @@
+#include "attack/threshold_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace satin::attack {
+
+double ThresholdSampler::sample_window_max_seconds(double window_s) {
+  double max_s = model_.sample_base_seconds(rng_, probed_cores_);
+  // Thread wake phases drift over a window, lifting the plateau slowly
+  // with the probing period (Table II's min column grows with P).
+  if (window_s > 8.0) {
+    max_s += 3.5e-5 * std::log(window_s / 8.0) *
+             model_.magnitude_scale(probed_cores_);
+  }
+  std::poisson_distribution<int> arrivals(model_.spike_rate_per_s * window_s);
+  const int spikes = arrivals(rng_.engine());
+  for (int i = 0; i < spikes; ++i) {
+    max_s = std::max(max_s, model_.sample_spike_seconds(rng_, probed_cores_));
+  }
+  return max_s;
+}
+
+}  // namespace satin::attack

@@ -1,0 +1,54 @@
+#include "attack/time_buffer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace satin::attack {
+
+SharedTimeBuffer::SharedTimeBuffer(int num_slots,
+                                   hw::CrossCoreDelayModel model,
+                                   sim::Rng rng, double reads_per_second,
+                                   int probed_cores)
+    : model_(model),
+      rng_(std::move(rng)),
+      probed_cores_(probed_cores),
+      last_report_(static_cast<std::size_t>(num_slots)),
+      reported_(static_cast<std::size_t>(num_slots), false) {
+  if (num_slots <= 0) throw std::invalid_argument("SharedTimeBuffer: slots");
+  if (reads_per_second <= 0.0) {
+    throw std::invalid_argument("SharedTimeBuffer: read rate");
+  }
+  spike_prob_per_read_ =
+      std::min(1.0, model.spike_rate_per_s / reads_per_second);
+}
+
+void SharedTimeBuffer::report(int slot, sim::Time now) {
+  last_report_.at(static_cast<std::size_t>(slot)) = now;
+  reported_.at(static_cast<std::size_t>(slot)) = true;
+  ++reports_;
+}
+
+bool SharedTimeBuffer::ever_reported(int slot) const {
+  return reported_.at(static_cast<std::size_t>(slot));
+}
+
+sim::Time SharedTimeBuffer::last_report(int slot) const {
+  return last_report_.at(static_cast<std::size_t>(slot));
+}
+
+sim::Duration SharedTimeBuffer::observed_staleness(int slot, sim::Time now) {
+  const sim::Time reported = last_report_.at(static_cast<std::size_t>(slot));
+  sim::Duration age = now >= reported ? now - reported : sim::Duration::zero();
+  // Routine visibility delay: small, always present. Use a fraction of the
+  // plateau model (the plateau also includes wake-phase geometry, which the
+  // event-driven prober exhibits organically through its real wake times).
+  double delay_s = 0.35 * model_.sample_base_seconds(rng_, probed_cores_);
+  if (rng_.bernoulli(spike_prob_per_read_)) {
+    ++spiked_reads_;
+    delay_s += std::min(model_.sample_spike_seconds(rng_, probed_cores_),
+                        model_.event_spike_cap_s);
+  }
+  return age + sim::Duration::from_sec_f(delay_s);
+}
+
+}  // namespace satin::attack

@@ -1,0 +1,54 @@
+// The shared time buffer the probers communicate through.
+//
+// §III-B1: "the Time Reporter obtains the latest time from a shared timer
+// among all CPU cores and then reports the time into a buffer that is
+// readable to all threads." Cross-core visibility is imperfect — §IV-B2
+// observed rare abnormal read delays up to 1.3e-3 s — so an
+// observed_staleness() read adds a calibrated visibility delay: a small
+// base draw, occasionally a heavy-tailed spike (Poisson arrivals).
+#pragma once
+
+#include <vector>
+
+#include "hw/timing_params.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace satin::attack {
+
+class SharedTimeBuffer {
+ public:
+  // `reads_per_second` is the aggregate observed_staleness() call rate of
+  // the deployed prober (used to convert the model's spike rate per second
+  // into a per-read probability). The model is captured by value.
+  SharedTimeBuffer(int num_slots, hw::CrossCoreDelayModel model,
+                   sim::Rng rng, double reads_per_second, int probed_cores);
+
+  int num_slots() const { return static_cast<int>(last_report_.size()); }
+
+  // Time Reporter: slot's owner writes the current shared-counter value.
+  void report(int slot, sim::Time now);
+
+  bool ever_reported(int slot) const;
+  sim::Time last_report(int slot) const;
+
+  // Time Comparer: how old slot's report *appears* from another core,
+  // including the sampled visibility delay. A frozen reporter's staleness
+  // grows without bound — that is the detection signal.
+  sim::Duration observed_staleness(int slot, sim::Time now);
+
+  std::uint64_t reports() const { return reports_; }
+  std::uint64_t spiked_reads() const { return spiked_reads_; }
+
+ private:
+  hw::CrossCoreDelayModel model_;
+  sim::Rng rng_;
+  double spike_prob_per_read_;
+  int probed_cores_;
+  std::vector<sim::Time> last_report_;
+  std::vector<bool> reported_;
+  std::uint64_t reports_ = 0;
+  std::uint64_t spiked_reads_ = 0;
+};
+
+}  // namespace satin::attack

@@ -1,0 +1,38 @@
+#include "core/area_set.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace satin::core {
+
+KernelAreaSet::KernelAreaSet(int area_count, sim::Rng rng)
+    : area_count_(area_count), rng_(std::move(rng)) {
+  if (area_count <= 0) {
+    throw std::invalid_argument("KernelAreaSet: need at least one area");
+  }
+  refill();
+}
+
+void KernelAreaSet::refill() {
+  remaining_.resize(static_cast<std::size_t>(area_count_));
+  std::iota(remaining_.begin(), remaining_.end(), 0);
+}
+
+int KernelAreaSet::take_next() {
+  if (remaining_.empty()) {
+    refill();
+    ++cycles_;
+  }
+  // Ordered mode pops the front (ascending); random mode removes a
+  // uniformly chosen remaining index (the set has at most 19 entries).
+  std::size_t pick = 0;
+  if (randomized_) {
+    pick = rng_.index(remaining_.size());
+  }
+  const int area = remaining_[pick];
+  remaining_.erase(remaining_.begin() + static_cast<std::ptrdiff_t>(pick));
+  return area;
+}
+
+}  // namespace satin::core

@@ -1,0 +1,46 @@
+// The shared Kernel Area Set (§V-B, Fig. 6).
+//
+// Pseudo-random selection without replacement: each introspection round
+// removes a random remaining area; when the set empties it is refilled
+// with all areas, guaranteeing every area is scanned exactly once per
+// cycle while the order stays unpredictable to the normal world. The set
+// lives in secure memory and is shared by all cores' rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace satin::core {
+
+class KernelAreaSet {
+ public:
+  KernelAreaSet(int area_count, sim::Rng rng);
+
+  int area_count() const { return area_count_; }
+  std::size_t remaining() const { return remaining_.size(); }
+
+  // Removes and returns a random remaining area index; refills first if
+  // the set is empty ("if set == NULL, SATIN resets set = {area_0, ...}").
+  int take_next();
+
+  // Randomized selection can be disabled (ablation): takes areas in
+  // ascending order each cycle instead.
+  void set_randomized(bool randomized) { randomized_ = randomized; }
+  bool randomized() const { return randomized_; }
+
+  // Completed full cycles (every area scanned once per cycle).
+  std::uint64_t cycles_completed() const { return cycles_; }
+
+ private:
+  void refill();
+
+  int area_count_;
+  sim::Rng rng_;
+  bool randomized_ = true;
+  std::vector<int> remaining_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace satin::core

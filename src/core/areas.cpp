@@ -1,0 +1,126 @@
+#include "core/areas.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace satin::core {
+
+namespace {
+void check_cap(const Area& area, std::size_t max_bytes) {
+  if (area.size > max_bytes) {
+    throw std::invalid_argument("area '" + area.label + "' (" +
+                                std::to_string(area.size) +
+                                " B) exceeds the race bound " +
+                                std::to_string(max_bytes) + " B");
+  }
+}
+}  // namespace
+
+std::vector<Area> partition_by_regions(const os::SystemMap& map,
+                                       std::size_t max_bytes) {
+  std::vector<Area> areas;
+  areas.reserve(static_cast<std::size_t>(map.region_count()));
+  for (int r = 0; r < map.region_count(); ++r) {
+    const auto extent = map.region_extent(r);
+    Area area;
+    area.index = r;
+    area.offset = extent.offset;
+    area.size = extent.size;
+    area.label = "region/" + std::to_string(r);
+    check_cap(area, max_bytes);
+    areas.push_back(std::move(area));
+  }
+  return areas;
+}
+
+std::vector<Area> partition_even(const os::SystemMap& map,
+                                 std::size_t max_bytes, int target_count) {
+  if (target_count <= 0) {
+    throw std::invalid_argument("partition_even: target_count must be > 0");
+  }
+  const auto& sections = map.sections();
+  for (const auto& s : sections) {
+    if (s.size > max_bytes) {
+      throw std::invalid_argument("partition_even: section " + s.name +
+                                  " exceeds the race bound");
+    }
+  }
+  const double ideal =
+      static_cast<double>(map.total_size()) / target_count;
+  std::vector<Area> areas;
+  Area current;
+  current.index = 0;
+  current.offset = 0;
+  auto close_current = [&](std::size_t end_offset) {
+    current.size = end_offset - current.offset;
+    current.label = "area/" + std::to_string(current.index);
+    check_cap(current, max_bytes);
+    areas.push_back(current);
+    current = Area{};
+    current.index = static_cast<int>(areas.size());
+    current.offset = end_offset;
+  };
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const auto& s = sections[i];
+    const std::size_t tentative = s.end() - current.offset;
+    const bool over_cap = tentative > max_bytes;
+    // Close at this boundary if the cap forces it, or if this boundary is
+    // at least as close to the even-split target as the next one would be.
+    bool close = over_cap;
+    if (!close && i + 1 < sections.size()) {
+      const double target =
+          ideal * static_cast<double>(areas.size() + 1);
+      const double here = std::abs(static_cast<double>(s.end()) - target);
+      const double next =
+          std::abs(static_cast<double>(sections[i + 1].end()) - target);
+      close = static_cast<double>(s.end()) >= target || here <= next;
+    }
+    if (over_cap) {
+      // The current area must close *before* this section.
+      if (s.offset == current.offset) {
+        throw std::logic_error("partition_even: unsplittable section");
+      }
+      close_current(s.offset);
+    }
+    if (close && !over_cap) close_current(s.end());
+  }
+  if (current.offset < map.total_size()) close_current(map.total_size());
+  return areas;
+}
+
+std::vector<Area> single_area(const os::SystemMap& map) {
+  Area area;
+  area.index = 0;
+  area.offset = 0;
+  area.size = map.total_size();
+  area.label = "whole-kernel";
+  return {area};
+}
+
+std::size_t largest_area(const std::vector<Area>& areas) {
+  std::size_t best = 0;
+  for (const Area& a : areas) best = std::max(best, a.size);
+  return best;
+}
+
+std::size_t smallest_area(const std::vector<Area>& areas) {
+  if (areas.empty()) return 0;
+  std::size_t best = areas.front().size;
+  for (const Area& a : areas) best = std::min(best, a.size);
+  return best;
+}
+
+std::size_t total_area_bytes(const std::vector<Area>& areas) {
+  std::size_t total = 0;
+  for (const Area& a : areas) total += a.size;
+  return total;
+}
+
+int area_containing(const std::vector<Area>& areas, std::size_t offset) {
+  for (const Area& a : areas) {
+    if (offset >= a.offset && offset < a.end()) return a.index;
+  }
+  return -1;
+}
+
+}  // namespace satin::core

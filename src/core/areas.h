@@ -1,0 +1,49 @@
+// Kernel introspection areas (§V-B, §VI-A2).
+//
+// SATIN's key defense is divide-and-conquer: split the kernel static area
+// into pieces small enough that one piece is fully scanned before an
+// evader can notice the world switch and finish cleaning (Eq. 2). Areas
+// respect System.map boundaries — "each section ... only belongs to one
+// area".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "os/system_map.h"
+
+namespace satin::core {
+
+struct Area {
+  int index = 0;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+  std::string label;
+
+  std::size_t end() const { return offset + size; }
+};
+
+// Areas exactly as the map's region tags group them (the curated 19-area
+// layout for the default map). Throws if any region exceeds `max_bytes`.
+std::vector<Area> partition_by_regions(const os::SystemMap& map,
+                                       std::size_t max_bytes);
+
+// Generic partitioner for arbitrary maps: walks sections in address order
+// and closes an area at the section boundary nearest the even-split target
+// (total/target_count), never exceeding `max_bytes`. Throws if a single
+// section exceeds `max_bytes`.
+std::vector<Area> partition_even(const os::SystemMap& map,
+                                 std::size_t max_bytes, int target_count);
+
+// One area covering the whole kernel (the PKM-style baseline's "area").
+std::vector<Area> single_area(const os::SystemMap& map);
+
+std::size_t largest_area(const std::vector<Area>& areas);
+std::size_t smallest_area(const std::vector<Area>& areas);
+std::size_t total_area_bytes(const std::vector<Area>& areas);
+
+// Index of the area containing `offset`; -1 if outside all areas.
+int area_containing(const std::vector<Area>& areas, std::size_t offset);
+
+}  // namespace satin::core

@@ -1,0 +1,70 @@
+#include "core/integrity_checker.h"
+
+#include <span>
+#include <stdexcept>
+
+#include "sim/log.h"
+
+namespace satin::core {
+
+IntegrityChecker::IntegrityChecker(hw::Platform& platform,
+                                   const os::KernelImage& image,
+                                   std::vector<Area> areas,
+                                   secure::HashKind hash,
+                                   secure::ScanStrategy strategy)
+    : platform_(platform),
+      image_(image),
+      areas_(std::move(areas)),
+      introspector_(platform, hash, strategy),
+      per_area_checks_(areas_.size(), 0) {
+  if (areas_.empty()) {
+    throw std::invalid_argument("IntegrityChecker: no areas");
+  }
+}
+
+void IntegrityChecker::authorize_boot_state() {
+  if (authorized_) {
+    throw std::logic_error("IntegrityChecker: already authorized");
+  }
+  const auto& pristine = image_.bytes();
+  for (const Area& area : areas_) {
+    const std::span<const std::uint8_t> slice(pristine.data() + area.offset,
+                                              area.size);
+    store_.authorize("area/" + std::to_string(area.index),
+                     introspector_.digest_reference(slice));
+  }
+  authorized_ = true;
+}
+
+void IntegrityChecker::check_area_async(
+    hw::CoreId core, int area, std::function<void(const CheckOutcome&)> done) {
+  if (!authorized_) {
+    throw std::logic_error("IntegrityChecker: authorize_boot_state first");
+  }
+  const Area& a = areas_.at(static_cast<std::size_t>(area));
+  introspector_.scan_async(
+      core, a.offset, a.size,
+      [this, core, area, done = std::move(done)](
+          const secure::ScanResult& scan) {
+        CheckOutcome outcome;
+        outcome.area = area;
+        outcome.core = core;
+        outcome.scan = scan;
+        outcome.ok =
+            store_.matches("area/" + std::to_string(area), scan.digest);
+        ++checks_;
+        ++per_area_checks_.at(static_cast<std::size_t>(area));
+        if (!outcome.ok) {
+          alarms_.push_back(Alarm{area, core, scan.scan_end, scan.digest});
+          SATIN_LOG(kInfo) << "integrity: ALARM area " << area << " on core "
+                           << core << " at " << scan.scan_end.to_string();
+        }
+        done(outcome);
+      });
+}
+
+std::uint64_t IntegrityChecker::check_count(int area) const {
+  return per_area_checks_.at(static_cast<std::size_t>(area));
+}
+
+}  // namespace satin::core

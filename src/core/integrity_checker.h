@@ -1,0 +1,73 @@
+// The Integrity Checking Module (§V-B, §VI-A2).
+//
+// At trusted boot it hashes every benign area into the secure-world
+// authorized store; each round it scans one area and compares. An alarm
+// is raised purely from a digest mismatch over the bytes the timed scan
+// observed — whether a racing evader escapes is decided by the memory
+// model, never by consulting attacker state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/areas.h"
+#include "hw/platform.h"
+#include "os/kernel_image.h"
+#include "secure/authorized_store.h"
+#include "secure/introspect.h"
+
+namespace satin::core {
+
+struct CheckOutcome {
+  int area = -1;
+  bool ok = true;
+  hw::CoreId core = -1;
+  secure::ScanResult scan;
+};
+
+struct Alarm {
+  int area = -1;
+  hw::CoreId core = -1;
+  sim::Time when;
+  std::uint64_t digest = 0;
+};
+
+class IntegrityChecker {
+ public:
+  IntegrityChecker(hw::Platform& platform, const os::KernelImage& image,
+                   std::vector<Area> areas,
+                   secure::HashKind hash = secure::HashKind::kDjb2,
+                   secure::ScanStrategy strategy =
+                       secure::ScanStrategy::kDirectHash);
+
+  const std::vector<Area>& areas() const { return areas_; }
+  secure::Introspector& introspector() { return introspector_; }
+
+  // Hashes the pristine image per area into the authorized store. Must run
+  // before any attack mutates kernel memory (trusted boot).
+  void authorize_boot_state();
+  bool authorized() const { return authorized_; }
+
+  // Scans `area` on `core` starting now; `done` fires at scan completion
+  // with the verdict.
+  void check_area_async(hw::CoreId core, int area,
+                        std::function<void(const CheckOutcome&)> done);
+
+  std::uint64_t checks_completed() const { return checks_; }
+  std::uint64_t check_count(int area) const;
+  const std::vector<Alarm>& alarms() const { return alarms_; }
+
+ private:
+  hw::Platform& platform_;
+  const os::KernelImage& image_;
+  std::vector<Area> areas_;
+  secure::Introspector introspector_;
+  secure::AuthorizedStore store_;
+  bool authorized_ = false;
+  std::uint64_t checks_ = 0;
+  std::vector<std::uint64_t> per_area_checks_;
+  std::vector<Alarm> alarms_;
+};
+
+}  // namespace satin::core

@@ -1,0 +1,50 @@
+// Closed-form race-condition model (Eq. 1 and Eq. 2, §III-B2 / §IV-C).
+//
+// The defender starts a check at t_start; after Ts_switch it scans at
+// Ts_1byte per byte. The attacker notices after Tns_delay = Tns_sched +
+// Tns_threshold and needs Tns_recover to clean M bytes. The attacker
+// escapes iff the scanner reaches its first malicious byte only after the
+// cleaning finished:
+//
+//   (Eq. 1)  Ts_switch + S * Ts_1byte  >  Tns_delay + Tns_recover
+//
+// SATIN inverts this into a size bound for each introspection area
+// (§V-B): any area no larger than max_safe_area_bytes() is fully scanned
+// before the attacker can hide.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/timing_params.h"
+
+namespace satin::core {
+
+struct RaceParams {
+  double ts_switch_s = 0.0;      // world-switch cost
+  double ts_1byte_s = 0.0;       // defender scan speed, s/byte
+  double tns_sched_s = 0.0;      // prober scheduling period (Tsleep)
+  double tns_threshold_s = 0.0;  // probing threshold
+  double tns_recover_s = 0.0;    // full trace recovery time
+
+  double tns_delay_s() const { return tns_sched_s + tns_threshold_s; }
+};
+
+// The paper's worst case for the defender (§IV-C): introspection on the
+// fastest core (A57 max speed), attacker with its slowest observed
+// recovery and the largest benign threshold. Evaluates to 1,218,351 bytes
+// with the calibrated constants.
+RaceParams worst_case_params(const hw::TimingParams& timing);
+
+// Eq. 1: does the attacker escape when the first malicious byte sits S
+// bytes into the scanned range?
+bool attacker_escapes(const RaceParams& p, std::size_t s_bytes);
+
+// Largest S for which the attacker escapes (Eq. 2's right-hand side) ==
+// the largest area size SATIN may use.
+std::size_t max_safe_area_bytes(const RaceParams& p);
+
+// Fraction of an N-byte kernel a single full-kernel introspection pass
+// fails to protect against the evader (~90% for the paper's numbers).
+double unprotected_fraction(const RaceParams& p, std::size_t kernel_bytes);
+
+}  // namespace satin::core

@@ -1,0 +1,147 @@
+#include "core/satin.h"
+
+#include <stdexcept>
+
+#include "sim/log.h"
+
+namespace satin::core {
+
+namespace {
+std::vector<Area> resolve_areas(const hw::Platform& platform,
+                                const os::KernelImage& image,
+                                const SatinConfig& config) {
+  if (!config.areas_override.empty()) return config.areas_override;
+  if (config.whole_kernel_single_area) return single_area(image.map());
+  const std::size_t cap =
+      max_safe_area_bytes(worst_case_params(platform.timing()));
+  return partition_by_regions(image.map(), cap);
+}
+}  // namespace
+
+Satin::Satin(hw::Platform& platform, const os::KernelImage& image,
+             secure::TestSecurePayload& tsp, SatinConfig config)
+    : platform_(platform),
+      tsp_(tsp),
+      config_(std::move(config)),
+      tp_(sim::Duration::zero()),
+      checker_(platform, image, resolve_areas(platform, image, config_),
+               config_.hash, config_.strategy),
+      area_set_(static_cast<int>(checker_.areas().size()),
+                platform.rng().fork("satin-area-set")),
+      wake_queue_(platform.num_cores(), sim::Duration::from_sec(1),
+                  platform.rng().fork("satin-wake-queue")),
+      rng_(platform.rng().fork("satin")) {
+  const double tp_s =
+      config_.tp_s ? *config_.tp_s
+                   : config_.tgoal_s / static_cast<double>(area_count());
+  tp_ = sim::Duration::from_sec_f(tp_s);
+  area_set_.set_randomized(config_.randomize_area);
+  // Rebuild the wake queue with the real tp (member construction order
+  // prevented computing tp before the queue existed).
+  wake_queue_ = WakeUpQueue(platform.num_cores(), tp_,
+                            platform_.rng().fork("satin-wake-queue"));
+  wake_queue_.set_randomized(config_.randomize_wake);
+}
+
+void Satin::start() {
+  if (running_) throw std::logic_error("Satin::start: already running");
+  running_ = true;
+  if (!checker_.authorized()) checker_.authorize_boot_state();
+  tsp_.install_timer_service(
+      [this](std::shared_ptr<hw::SecureSession> session) {
+        on_session(std::move(session));
+      });
+  const sim::Time now = platform_.engine().now();
+  if (config_.multi_core) {
+    const auto times = wake_queue_.boot_times(now);
+    for (int c = 0; c < platform_.num_cores(); ++c) {
+      platform_.timer().program_secure(c, times[static_cast<std::size_t>(c)]);
+    }
+  } else {
+    platform_.timer().program_secure(config_.fixed_core,
+                                     next_wake_single(now));
+  }
+  SATIN_LOG(kInfo) << "satin: started, m=" << area_count()
+                   << " areas, tp=" << tp_.to_string();
+}
+
+void Satin::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (int c = 0; c < platform_.num_cores(); ++c) {
+    platform_.timer().stop_secure(c);
+  }
+}
+
+sim::Time Satin::next_wake_single(sim::Time now) {
+  if (!config_.randomize_wake) {
+    // Strictly periodic mode re-arms on a drift-free grid (CVAL += period,
+    // the way real periodic timers are programmed) — the predictable
+    // pattern the §V-C randomization exists to destroy.
+    last_single_wake_ =
+        last_single_wake_.is_zero() ? now + tp_ : last_single_wake_ + tp_;
+    return last_single_wake_;
+  }
+  return now + tp_ +
+         rng_.uniform_duration(sim::Duration::zero() - tp_, tp_);
+}
+
+void Satin::on_session(std::shared_ptr<hw::SecureSession> session) {
+  if (!running_) {
+    session->complete();
+    return;
+  }
+  const hw::CoreId core = session->core_id();
+  const int area = area_set_.take_next();
+  const std::uint64_t round = ++rounds_;
+  SATIN_LOG(kDebug) << "satin: round " << round << " scans area " << area
+                    << " on core " << core;
+  checker_.check_area_async(
+      core, area, [this, session = std::move(session), round,
+                   area](const CheckOutcome& outcome) {
+        RoundRecord record;
+        record.round = round;
+        record.area = area;
+        record.core = outcome.core;
+        record.entry = session->entry_time();
+        record.handler_start = session->handler_start();
+        record.scan_end = outcome.scan.scan_end;
+        record.per_byte_s = outcome.scan.per_byte_s;
+        record.alarm = !outcome.ok;
+        records_.push_back(record);
+        // Self Activation Module: arm this core's next wake before
+        // leaving the secure world (Fig. 5 step 5).
+        if (running_) {
+          const sim::Time now = platform_.engine().now();
+          const sim::Time next =
+              config_.multi_core
+                  ? wake_queue_.next_wake_for(outcome.core, now)
+                  : next_wake_single(now);
+          platform_.timer().program_secure(outcome.core, next);
+        }
+        session->complete();
+      });
+}
+
+sim::Duration Satin::guaranteed_scan_period(hw::CoreType assumed_core) const {
+  const double per_byte =
+      platform_.timing().hash_per_byte(assumed_core).avg_s;
+  sim::Duration total = tp_ * static_cast<std::int64_t>(area_count());
+  total += sim::Duration::from_sec_f(
+      per_byte * static_cast<double>(total_area_bytes(checker_.areas())));
+  return total;
+}
+
+SatinConfig make_pkm_baseline_config(double period_s, bool random_core,
+                                     bool random_time, hw::CoreId fixed_core) {
+  SatinConfig config;
+  config.whole_kernel_single_area = true;
+  config.tp_s = period_s;
+  config.randomize_wake = random_time;
+  config.randomize_area = false;
+  config.multi_core = random_core;
+  config.fixed_core = fixed_core;
+  return config;
+}
+
+}  // namespace satin::core

@@ -1,0 +1,134 @@
+// SATIN: Secure Asynchronous Trustworthy INtrospection (§V, §VI).
+//
+// Orchestrates the two secure-world modules of Fig. 5 on top of the TSP:
+//  * Integrity Checking Module — divide-and-conquer over the Kernel Area
+//    Set: every wake-up scans one pseudo-randomly chosen area whose size
+//    respects the Eq.-2 race bound, so the scan finishes before TZ-Evader
+//    can hide.
+//  * Self Activation Module — per-core secure timers programmed from the
+//    Wake-Up Time Queue (random deviation, random core order, coordinated
+//    through secure memory only).
+//
+// The same class, degenerately configured (one whole-kernel area, fixed
+// period and/or fixed core), reproduces the PKM-style baseline that
+// TZ-Evader defeats — see make_pkm_baseline_config().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/area_set.h"
+#include "core/integrity_checker.h"
+#include "core/race_model.h"
+#include "core/wakeup_queue.h"
+#include "hw/platform.h"
+#include "os/kernel_image.h"
+#include "secure/tsp.h"
+
+namespace satin::core {
+
+struct SatinConfig {
+  // Target period for covering the whole kernel once; tp = Tgoal / m.
+  // §VI-B1's experiment runs with the 19-area map at ~152 s per cycle.
+  double tgoal_s = 152.0;
+  // Direct tp override (seconds); when set, tgoal_s is ignored.
+  std::optional<double> tp_s;
+  // Random deviation td ~ U(-tp, +tp) on each wake (ablation: off =>
+  // strictly periodic, predictable to the evader).
+  bool randomize_wake = true;
+  // Pseudo-random area order (ablation: off => ascending order).
+  bool randomize_area = true;
+  // All cores take turns via the Wake-Up Time Queue; off pins every round
+  // to `fixed_core` (the easier-to-probe configuration of §IV-B2).
+  bool multi_core = true;
+  hw::CoreId fixed_core = 0;
+  secure::HashKind hash = secure::HashKind::kDjb2;
+  secure::ScanStrategy strategy = secure::ScanStrategy::kDirectHash;
+  // Areas to introspect; empty => partition the map by regions under the
+  // worst-case race bound. Overrides are taken as-is (the PKM baseline
+  // deliberately violates the bound with one whole-kernel area).
+  std::vector<Area> areas_override;
+  // One whole-kernel area regardless of the race bound (PKM baseline).
+  bool whole_kernel_single_area = false;
+};
+
+struct RoundRecord {
+  std::uint64_t round = 0;
+  int area = -1;
+  hw::CoreId core = -1;
+  sim::Time entry;        // secure timer interrupt (normal world frozen)
+  sim::Time handler_start;
+  sim::Time scan_end;
+  double per_byte_s = 0.0;  // this pass's sampled scan speed
+  bool alarm = false;
+};
+
+class Satin {
+ public:
+  Satin(hw::Platform& platform, const os::KernelImage& image,
+        secure::TestSecurePayload& tsp, SatinConfig config = {});
+
+  // Trusted boot: authorizes benign hashes, installs the secure-timer
+  // service and programs the initial wake-up on every participating core.
+  void start();
+  // Stops the secure timers; an in-flight round finishes normally.
+  void stop();
+  bool running() const { return running_; }
+
+  const SatinConfig& config() const { return config_; }
+  sim::Duration tp() const { return tp_; }
+  int area_count() const {
+    return static_cast<int>(checker_.areas().size());
+  }
+  IntegrityChecker& checker() { return checker_; }
+  const IntegrityChecker& checker() const { return checker_; }
+
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t alarm_count() const {
+    return static_cast<std::uint64_t>(checker_.alarms().size());
+  }
+  // Completed full passes over the kernel (every round consumes exactly
+  // one area from the set).
+  std::uint64_t full_cycles() const {
+    return rounds_ / static_cast<std::uint64_t>(area_count());
+  }
+  const std::vector<RoundRecord>& round_records() const { return records_; }
+
+  // Area containing a kernel offset (e.g. the hijacked handler).
+  int area_of_offset(std::size_t offset) const {
+    return area_containing(checker_.areas(), offset);
+  }
+
+  // §VI-B1: the period within which every byte is guaranteed scanned at
+  // least once: m * tp + sum(size_i * Ts_1byte).
+  sim::Duration guaranteed_scan_period(hw::CoreType assumed_core) const;
+
+ private:
+  void on_session(std::shared_ptr<hw::SecureSession> session);
+  sim::Time next_wake_single(sim::Time now);
+
+  hw::Platform& platform_;
+  secure::TestSecurePayload& tsp_;
+  SatinConfig config_;
+  sim::Duration tp_;
+  IntegrityChecker checker_;
+  KernelAreaSet area_set_;
+  WakeUpQueue wake_queue_;
+  sim::Rng rng_;
+  bool running_ = false;
+  sim::Time last_single_wake_;
+  std::uint64_t rounds_ = 0;
+  std::vector<RoundRecord> records_;
+};
+
+// The state-of-the-art baseline the paper attacks (§II, §IV-C): a
+// Samsung-PKM-style periodic measurement of the whole kernel in one pass.
+// `random_core` selects whether rounds rotate over random cores or stay on
+// `fixed_core`; `random_time` adds the +/-period deviation.
+SatinConfig make_pkm_baseline_config(double period_s, bool random_core,
+                                     bool random_time,
+                                     hw::CoreId fixed_core = 5);
+
+}  // namespace satin::core

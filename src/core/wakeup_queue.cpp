@@ -1,0 +1,75 @@
+#include "core/wakeup_queue.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace satin::core {
+
+WakeUpQueue::WakeUpQueue(int num_cores, sim::Duration tp, sim::Rng rng)
+    : num_cores_(num_cores), tp_(tp), rng_(std::move(rng)) {
+  if (num_cores <= 0) throw std::invalid_argument("WakeUpQueue: no cores");
+  if (tp <= sim::Duration::zero()) {
+    throw std::invalid_argument("WakeUpQueue: non-positive tp");
+  }
+}
+
+sim::Duration WakeUpQueue::sample_gap() {
+  if (!randomized_) return tp_;
+  // tp + td with td ~ U(-tp, +tp): gaps in [0, 2*tp], mean tp.
+  return tp_ + rng_.uniform_duration(sim::Duration::zero() - tp_, tp_);
+}
+
+void WakeUpQueue::generate(sim::Time after) {
+  Generation gen;
+  gen.slot_times.resize(static_cast<std::size_t>(num_cores_));
+  sim::Time t = std::max(after, last_slot_time_);
+  for (auto& slot : gen.slot_times) {
+    t += sample_gap();
+    slot = t;
+  }
+  last_slot_time_ = t;
+  gen.core_to_slot.resize(static_cast<std::size_t>(num_cores_));
+  std::iota(gen.core_to_slot.begin(), gen.core_to_slot.end(), 0);
+  rng_.shuffle(gen.core_to_slot.begin(), gen.core_to_slot.end());
+  generations_.push_back(std::move(gen));
+}
+
+std::vector<sim::Time> WakeUpQueue::boot_times(sim::Time boot_time) {
+  if (!generations_.empty()) {
+    throw std::logic_error("WakeUpQueue: boot_times called twice");
+  }
+  generate(boot_time);
+  next_gen_for_core_.assign(static_cast<std::size_t>(num_cores_), 1);
+  const Generation& gen = generations_.front();
+  std::vector<sim::Time> times(static_cast<std::size_t>(num_cores_));
+  for (int c = 0; c < num_cores_; ++c) {
+    const auto slot =
+        static_cast<std::size_t>(gen.core_to_slot[static_cast<std::size_t>(c)]);
+    times[static_cast<std::size_t>(c)] = gen.slot_times[slot];
+  }
+  return times;
+}
+
+sim::Time WakeUpQueue::next_wake_for(hw::CoreId core, sim::Time now) {
+  if (core < 0 || core >= num_cores_) {
+    throw std::out_of_range("WakeUpQueue: bad core");
+  }
+  if (generations_.empty()) {
+    throw std::logic_error("WakeUpQueue: boot_times first");
+  }
+  const auto c = static_cast<std::size_t>(core);
+  const std::size_t wanted = next_gen_for_core_[c]++;
+  // A fast core may lap a slow core's still-running round and need the
+  // following generation before the current one is fully extracted; the
+  // queue simply pre-generates it ("refreshes the queue with n newly
+  // generated time values and newly generated random assignment", §V-D).
+  while (generations_.size() <= wanted) generate(now);
+  const Generation& gen = generations_[wanted];
+  const auto slot = static_cast<std::size_t>(gen.core_to_slot[c]);
+  // A slot earlier than `now` (this core's previous round overran its
+  // assigned gap) fires immediately via the timer semantics.
+  return gen.slot_times[slot];
+}
+
+}  // namespace satin::core

@@ -1,0 +1,62 @@
+// The Wake-Up Time Queue (§V-C, §V-D).
+//
+// Coordinates the random wake-up sequence across cores *through secure
+// memory only*: cross-core secure interrupts would let the normal world
+// probe the wake pattern, so instead each waking core pulls its next wake
+// time from a queue of n pre-generated slots. Consecutive slot times are
+// tp + td apart with td uniform in [-tp, +tp] (round gaps in [0, 2*tp]);
+// slot-to-core assignment is a fresh random permutation per generation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/types.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace satin::core {
+
+class WakeUpQueue {
+ public:
+  // `tp` is the base period between introspection rounds (tp = Tgoal / m).
+  WakeUpQueue(int num_cores, sim::Duration tp, sim::Rng rng);
+
+  sim::Duration tp() const { return tp_; }
+
+  // Random deviation can be disabled (ablation: strictly periodic rounds,
+  // the predictable pattern evasion attacks exploit).
+  void set_randomized(bool randomized) { randomized_ = randomized; }
+  bool randomized() const { return randomized_; }
+
+  // Trusted boot: generates the first slot generation starting after
+  // `boot_time` and returns each core's initial wake time (the self
+  // activation module is "invoked once on each core" during boot, §V-C).
+  std::vector<sim::Time> boot_times(sim::Time boot_time);
+
+  // A core that just finished a round extracts its next wake time. New
+  // generations are created on demand: normally when the previous one is
+  // fully extracted, and eagerly when a fast core laps a slow round.
+  sim::Time next_wake_for(hw::CoreId core, sim::Time now);
+
+  std::uint64_t generations() const { return generations_.size(); }
+
+ private:
+  struct Generation {
+    std::vector<sim::Time> slot_times;  // ascending round times
+    std::vector<int> core_to_slot;      // random assignment
+  };
+
+  sim::Duration sample_gap();
+  void generate(sim::Time now);
+
+  int num_cores_;
+  sim::Duration tp_;
+  sim::Rng rng_;
+  bool randomized_ = true;
+  std::vector<Generation> generations_;
+  std::vector<std::size_t> next_gen_for_core_;
+  sim::Time last_slot_time_;
+};
+
+}  // namespace satin::core

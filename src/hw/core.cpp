@@ -1,0 +1,41 @@
+#include "hw/core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "sim/log.h"
+
+namespace satin::hw {
+
+void Core::remove_world_listener(WorldListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+std::string Core::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "core%d(%s)", id_, to_string(type_));
+  return buf;
+}
+
+void Core::enter_secure(sim::Time when) {
+  assert(world_ == World::kNormal && "nested secure entry");
+  world_ = World::kSecure;
+  secure_entry_time_ = when;
+  ++secure_entries_;
+  SATIN_LOG(kDebug) << name() << " enters secure world at "
+                    << when.to_string();
+  for (WorldListener* l : listeners_) l->on_secure_entry(id_, when);
+}
+
+void Core::exit_secure(sim::Time when) {
+  assert(world_ == World::kSecure && "exit without entry");
+  world_ = World::kNormal;
+  secure_total_ += when - secure_entry_time_;
+  SATIN_LOG(kDebug) << name() << " returns to normal world at "
+                    << when.to_string();
+  for (WorldListener* l : listeners_) l->on_secure_exit(id_, when);
+}
+
+}  // namespace satin::hw

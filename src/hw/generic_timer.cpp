@@ -1,0 +1,60 @@
+#include "hw/generic_timer.h"
+
+#include <stdexcept>
+
+namespace satin::hw {
+
+GenericTimer::GenericTimer(sim::Engine& engine, int num_cores)
+    : engine_(engine),
+      secure_(static_cast<std::size_t>(num_cores)),
+      nonsecure_(static_cast<std::size_t>(num_cores)) {
+  if (num_cores <= 0) throw std::invalid_argument("GenericTimer: no cores");
+}
+
+void GenericTimer::program(std::vector<PerCoreTimer>& timers, CoreId core,
+                           sim::Time compare_value, IrqId irq) {
+  auto& t = timers.at(static_cast<std::size_t>(core));
+  t.event.cancel();
+  t.compare_value = compare_value;
+  t.enabled = true;
+  // The hardware condition is CNTPCT >= CVAL, so a compare value in the
+  // past fires immediately.
+  const sim::Time when =
+      compare_value < engine_.now() ? engine_.now() : compare_value;
+  t.event = engine_.schedule_at(when, [this, core, irq, &t] {
+    t.enabled = false;
+    if (raise_) raise_(core, irq);
+  });
+}
+
+void GenericTimer::stop(std::vector<PerCoreTimer>& timers, CoreId core) {
+  auto& t = timers.at(static_cast<std::size_t>(core));
+  t.event.cancel();
+  t.enabled = false;
+}
+
+void GenericTimer::program_secure(CoreId core, sim::Time compare_value) {
+  program(secure_, core, compare_value, IrqId::kSecurePhysTimer);
+}
+
+void GenericTimer::stop_secure(CoreId core) { stop(secure_, core); }
+
+bool GenericTimer::secure_enabled(CoreId core) const {
+  return secure_.at(static_cast<std::size_t>(core)).enabled;
+}
+
+sim::Time GenericTimer::secure_compare_value(CoreId core) const {
+  return secure_.at(static_cast<std::size_t>(core)).compare_value;
+}
+
+void GenericTimer::program_nonsecure(CoreId core, sim::Time compare_value) {
+  program(nonsecure_, core, compare_value, IrqId::kNonSecurePhysTimer);
+}
+
+void GenericTimer::stop_nonsecure(CoreId core) { stop(nonsecure_, core); }
+
+bool GenericTimer::nonsecure_enabled(CoreId core) const {
+  return nonsecure_.at(static_cast<std::size_t>(core)).enabled;
+}
+
+}  // namespace satin::hw

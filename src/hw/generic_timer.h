@@ -1,0 +1,67 @@
+// ARM Generic Timer model.
+//
+// §V-C / §VI-A1: every TrustZone-enabled core owns a *secure* physical
+// timer (CNTPS_CVAL_EL1 / CNTPS_CTL_EL1) readable and writable only with
+// secure-world privilege, all compared against the shared physical counter
+// (CNTPCT_EL0). SATIN's self-activation programs these so the secure world
+// wakes itself with no help from (and no signal to) the normal world.
+// The rich OS drives its scheduling tick from the per-core non-secure
+// physical timer.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hw/types.h"
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace satin::hw {
+
+class GenericTimer {
+ public:
+  using RaiseFn = std::function<void(CoreId, IrqId)>;
+
+  GenericTimer(sim::Engine& engine, int num_cores);
+
+  // CNTPCT_EL0: the counter shared by all cores. §III-B1's probers read a
+  // "shared timer among all CPU cores" — this is it.
+  sim::Time counter() const { return engine_.now(); }
+
+  // Wire interrupt output (normally to the InterruptController).
+  void set_raise_handler(RaiseFn fn) { raise_ = std::move(fn); }
+
+  // Secure physical timer: fires IrqId::kSecurePhysTimer on `core` when the
+  // counter reaches `compare_value`. Reprogramming replaces the pending
+  // expiry (CNTPS_CVAL_EL1 write).
+  void program_secure(CoreId core, sim::Time compare_value);
+  // CNTPS_CTL_EL1.ENABLE = 0.
+  void stop_secure(CoreId core);
+  bool secure_enabled(CoreId core) const;
+  sim::Time secure_compare_value(CoreId core) const;
+
+  // Non-secure physical timer: same contract, fires kNonSecurePhysTimer.
+  void program_nonsecure(CoreId core, sim::Time compare_value);
+  void stop_nonsecure(CoreId core);
+  bool nonsecure_enabled(CoreId core) const;
+
+  int num_cores() const { return static_cast<int>(secure_.size()); }
+
+ private:
+  struct PerCoreTimer {
+    sim::EventHandle event;
+    sim::Time compare_value;
+    bool enabled = false;
+  };
+
+  void program(std::vector<PerCoreTimer>& timers, CoreId core,
+               sim::Time compare_value, IrqId irq);
+  void stop(std::vector<PerCoreTimer>& timers, CoreId core);
+
+  sim::Engine& engine_;
+  RaiseFn raise_;
+  std::vector<PerCoreTimer> secure_;
+  std::vector<PerCoreTimer> nonsecure_;
+};
+
+}  // namespace satin::hw

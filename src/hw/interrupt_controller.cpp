@@ -1,0 +1,87 @@
+#include "hw/interrupt_controller.h"
+
+#include <stdexcept>
+
+#include "sim/log.h"
+
+namespace satin::hw {
+
+InterruptController::InterruptController(sim::Engine& engine,
+                                         std::vector<Core*> cores)
+    : engine_(engine), cores_(std::move(cores)),
+      pending_(cores_.size()) {
+  if (cores_.empty()) {
+    throw std::invalid_argument("InterruptController: no cores");
+  }
+  for (Core* core : cores_) core->add_world_listener(this);
+}
+
+InterruptController::~InterruptController() {
+  for (Core* core : cores_) core->remove_world_listener(this);
+}
+
+void InterruptController::configure_group(IrqId irq, IrqGroup group) {
+  groups_[irq] = group;
+}
+
+IrqGroup InterruptController::group_of(IrqId irq) const {
+  const auto it = groups_.find(irq);
+  return it == groups_.end() ? IrqGroup::kNonSecure : it->second;
+}
+
+void InterruptController::raise(CoreId core, IrqId irq) {
+  auto& pending = pending_.at(static_cast<std::size_t>(core));
+  const IrqGroup group = group_of(irq);
+  const bool core_secure =
+      cores_.at(static_cast<std::size_t>(core))->in_secure_world();
+  if (group == IrqGroup::kSecure) {
+    if (core_secure) {
+      pending.insert(irq);
+    } else {
+      deliver(core, irq, group);
+    }
+    return;
+  }
+  // Non-secure interrupt.
+  if (core_secure) {
+    // SCR_EL3.IRQ = 0: the secure payload outranks normal interrupts; the
+    // IRQ stays pending at the GIC until the world switch back.
+    pending.insert(irq);
+  } else {
+    deliver(core, irq, group);
+  }
+}
+
+bool InterruptController::is_pending(CoreId core, IrqId irq) const {
+  return pending_.at(static_cast<std::size_t>(core)).count(irq) > 0;
+}
+
+std::size_t InterruptController::pending_count(CoreId core) const {
+  return pending_.at(static_cast<std::size_t>(core)).size();
+}
+
+void InterruptController::on_secure_entry(CoreId, sim::Time) {}
+
+void InterruptController::on_secure_exit(CoreId core, sim::Time) {
+  auto& pending = pending_.at(static_cast<std::size_t>(core));
+  if (pending.empty()) return;
+  // Drain to a local set first: delivering a pended secure timer IRQ can
+  // re-enter the secure world and pend new interrupts.
+  std::set<IrqId> drained;
+  drained.swap(pending);
+  for (IrqId irq : drained) deliver(core, irq, group_of(irq));
+}
+
+void InterruptController::deliver(CoreId core, IrqId irq, IrqGroup group) {
+  SATIN_LOG(kTrace) << "gic: deliver irq " << static_cast<int>(irq)
+                    << " to core " << core << " ("
+                    << (group == IrqGroup::kSecure ? "secure" : "non-secure")
+                    << ")";
+  if (group == IrqGroup::kSecure) {
+    if (secure_handler_) secure_handler_(core, irq);
+  } else {
+    if (nonsecure_handler_) nonsecure_handler_(core, irq);
+  }
+}
+
+}  // namespace satin::hw

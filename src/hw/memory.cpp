@@ -1,0 +1,83 @@
+#include "hw/memory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace satin::hw {
+
+Memory::Memory(std::size_t size) : bytes_(size, 0) {}
+
+void Memory::poke(std::size_t offset, std::span<const std::uint8_t> data) {
+  if (offset + data.size() > bytes_.size()) {
+    throw std::out_of_range("Memory::poke out of range");
+  }
+  std::copy(data.begin(), data.end(), bytes_.begin() + offset);
+}
+
+void Memory::write(sim::Time now, std::size_t offset,
+                   std::span<const std::uint8_t> data) {
+  if (offset + data.size() > bytes_.size()) {
+    throw std::out_of_range("Memory::write out of range");
+  }
+  ++write_count_;
+  for (ActiveScan& scan : scans_) {
+    const std::size_t scan_end = scan.offset + scan.length;
+    const std::size_t lo = std::max(offset, scan.offset);
+    const std::size_t hi = std::min(offset + data.size(), scan_end);
+    for (std::size_t pos = lo; pos < hi; ++pos) {
+      const double touch_ps =
+          static_cast<double>(scan.start.ps()) +
+          scan.per_byte_ps * static_cast<double>(pos - scan.offset);
+      // The scanner reads byte `pos` at touch time; a write at exactly the
+      // touch time is taken as visible (the store wins the cache race).
+      if (static_cast<double>(now.ps()) <= touch_ps) {
+        scan.view[pos - scan.offset] = data[pos - offset];
+      }
+    }
+  }
+  std::copy(data.begin(), data.end(), bytes_.begin() + offset);
+}
+
+Memory::ScanToken Memory::begin_scan(sim::Time start, std::size_t offset,
+                                     std::size_t length, double per_byte_ps) {
+  if (offset + length > bytes_.size()) {
+    throw std::out_of_range("Memory::begin_scan out of range");
+  }
+  if (length == 0) throw std::invalid_argument("Memory::begin_scan: empty");
+  if (!(per_byte_ps > 0.0)) {
+    throw std::invalid_argument("Memory::begin_scan: non-positive speed");
+  }
+  ActiveScan scan;
+  scan.id = next_scan_id_++;
+  scan.start = start;
+  scan.offset = offset;
+  scan.length = length;
+  scan.per_byte_ps = per_byte_ps;
+  scan.view.assign(bytes_.begin() + offset, bytes_.begin() + offset + length);
+  scans_.push_back(std::move(scan));
+  return ScanToken(scans_.back().id);
+}
+
+std::vector<std::uint8_t> Memory::finish_scan(ScanToken token) {
+  for (auto it = scans_.begin(); it != scans_.end(); ++it) {
+    if (it->id == token.id_) {
+      std::vector<std::uint8_t> view = std::move(it->view);
+      scans_.erase(it);
+      return view;
+    }
+  }
+  throw std::logic_error("Memory::finish_scan: unknown token");
+}
+
+void Memory::cancel_scan(ScanToken token) {
+  for (auto it = scans_.begin(); it != scans_.end(); ++it) {
+    if (it->id == token.id_) {
+      scans_.erase(it);
+      return;
+    }
+  }
+  throw std::logic_error("Memory::cancel_scan: unknown token");
+}
+
+}  // namespace satin::hw

@@ -1,0 +1,89 @@
+// Physical memory with TOCTTOU-exact linear scans.
+//
+// The race at the heart of the paper is: the secure world walks N bytes at
+// Ts_1byte per byte while the normal world rewrites M bytes in parallel
+// (Fig. 3, Eq. 1). To decide that race honestly, a scan registers itself
+// with its start time and per-byte speed; every subsequent timed write is
+// applied to the scan's view only if it lands *before* the scanner's
+// cursor reaches that byte:
+//
+//     visible  <=>  t_write <= t_scan_start + (offset - scan_begin) * per_byte
+//
+// Events execute in simulated-time order, so this reproduces exactly what
+// a real linear hash pass would have read. Hashes downstream are computed
+// over the returned view — detection is never scripted.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace satin::hw {
+
+class Memory {
+ public:
+  explicit Memory(std::size_t size);
+
+  std::size_t size() const { return bytes_.size(); }
+
+  // Untimed state access: boot-time initialization and test assertions.
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  std::uint8_t read(std::size_t offset) const { return bytes_.at(offset); }
+  void poke(std::size_t offset, std::span<const std::uint8_t> data);
+
+  // Timed write from a running world. `now` must be the current simulated
+  // time; active scans resolve visibility against it.
+  void write(sim::Time now, std::size_t offset,
+             std::span<const std::uint8_t> data);
+
+  // Handle to an in-progress linear scan.
+  class ScanToken {
+   public:
+    ScanToken() = default;
+    bool valid() const { return id_ != 0; }
+
+   private:
+    friend class Memory;
+    explicit ScanToken(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_ = 0;
+  };
+
+  // Starts a linear scan of [offset, offset+length) beginning at `start`,
+  // advancing `per_byte_ps` picoseconds per byte. Works for both direct
+  // hashing (cursor = hash position) and snapshotting (cursor = copy
+  // position; the copy is immune to writes after its touch time, matching
+  // §IV-B1's snapshot discussion).
+  ScanToken begin_scan(sim::Time start, std::size_t offset, std::size_t length,
+                       double per_byte_ps);
+
+  // Ends the scan and returns the bytes as the scanner observed them.
+  std::vector<std::uint8_t> finish_scan(ScanToken token);
+
+  // Drops a scan without reading the result (e.g. aborted introspection).
+  void cancel_scan(ScanToken token);
+
+  std::size_t active_scan_count() const { return scans_.size(); }
+
+  // Total timed writes observed (diagnostics).
+  std::uint64_t write_count() const { return write_count_; }
+
+ private:
+  struct ActiveScan {
+    std::uint64_t id;
+    sim::Time start;
+    std::size_t offset;
+    std::size_t length;
+    double per_byte_ps;
+    std::vector<std::uint8_t> view;  // bytes as the scanner sees them
+  };
+
+  std::vector<std::uint8_t> bytes_;
+  std::list<ActiveScan> scans_;
+  std::uint64_t next_scan_id_ = 1;
+  std::uint64_t write_count_ = 0;
+};
+
+}  // namespace satin::hw

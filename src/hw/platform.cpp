@@ -1,0 +1,51 @@
+#include "hw/platform.h"
+
+#include <stdexcept>
+
+namespace satin::hw {
+
+Platform::Platform(const PlatformConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config.num_little + config.num_big <= 0) {
+    throw std::invalid_argument("Platform: needs at least one core");
+  }
+  // LITTLE cluster first (core0..3 = A53), then big (core4..5 = A57),
+  // matching the Juno r1 boot order.
+  CoreId next = 0;
+  for (int i = 0; i < config.num_little; ++i) {
+    cores_.push_back(std::make_unique<Core>(next++, CoreType::kLittleA53));
+  }
+  for (int i = 0; i < config.num_big; ++i) {
+    cores_.push_back(std::make_unique<Core>(next++, CoreType::kBigA57));
+  }
+
+  memory_ = std::make_unique<Memory>(config.memory_bytes);
+  timer_ = std::make_unique<GenericTimer>(engine_, num_cores());
+  gic_ = std::make_unique<InterruptController>(engine_, core_ptrs());
+  monitor_ = std::make_unique<SecureMonitor>(engine_, rng_, config_.timing,
+                                             core_ptrs());
+
+  gic_->configure_group(IrqId::kSecurePhysTimer, IrqGroup::kSecure);
+  gic_->configure_group(IrqId::kNonSecurePhysTimer, IrqGroup::kNonSecure);
+  timer_->set_raise_handler(
+      [this](CoreId core, IrqId irq) { gic_->raise(core, irq); });
+  gic_->set_secure_handler(
+      [this](CoreId core, IrqId irq) { monitor_->on_secure_irq(core, irq); });
+}
+
+std::vector<Core*> Platform::core_ptrs() {
+  std::vector<Core*> out;
+  out.reserve(cores_.size());
+  for (auto& c : cores_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<CoreId> Platform::cores_of_type(CoreType type) const {
+  std::vector<CoreId> out;
+  for (const auto& c : cores_) {
+    if (c->type() == type) out.push_back(c->id());
+  }
+  return out;
+}
+
+}  // namespace satin::hw

@@ -1,0 +1,67 @@
+#include "hw/secure_monitor.h"
+
+#include <stdexcept>
+
+#include "sim/log.h"
+
+namespace satin::hw {
+
+void SecureSession::complete() {
+  if (completed_) {
+    throw std::logic_error("SecureSession::complete called twice");
+  }
+  completed_ = true;
+  monitor_->finish_session(*this);
+}
+
+SecureMonitor::SecureMonitor(sim::Engine& engine, sim::Rng& rng,
+                             const TimingParams& timing,
+                             std::vector<Core*> cores)
+    : engine_(engine), rng_(rng), timing_(timing), cores_(std::move(cores)) {
+  if (cores_.empty()) throw std::invalid_argument("SecureMonitor: no cores");
+}
+
+void SecureMonitor::on_secure_irq(CoreId core_id, IrqId irq) {
+  if (irq != IrqId::kSecurePhysTimer) {
+    SATIN_LOG(kWarn) << "monitor: unhandled secure irq "
+                     << static_cast<int>(irq);
+    return;
+  }
+  Core& core = *cores_.at(static_cast<std::size_t>(core_id));
+  if (core.in_secure_world()) {
+    // The GIC pends secure IRQs while the core is already secure; reaching
+    // here would mean re-entrancy.
+    throw std::logic_error("secure irq delivered to core already in secure");
+  }
+  const sim::Time entry = engine_.now();
+  // Context save begins now: the normal world on this core is frozen from
+  // this instant — exactly the availability loss the probers sense.
+  core.enter_secure(entry);
+
+  auto session = std::make_shared<SecureSession>();
+  session->monitor_ = this;
+  session->core_ = core_id;
+  session->type_ = core.type();
+  session->entry_ = entry;
+
+  const sim::Duration switch_in = sample_switch();
+  engine_.schedule_after(switch_in, [this, session] {
+    session->start_ = engine_.now();
+    if (payload_) {
+      payload_(session);
+    } else {
+      session->complete();
+    }
+  });
+}
+
+void SecureMonitor::finish_session(SecureSession& session) {
+  const CoreId core_id = session.core_id();
+  const sim::Duration switch_out = sample_switch();
+  engine_.schedule_after(switch_out, [this, core_id] {
+    Core& core = *cores_.at(static_cast<std::size_t>(core_id));
+    core.exit_secure(engine_.now());
+  });
+}
+
+}  // namespace satin::hw

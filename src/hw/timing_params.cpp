@@ -1,0 +1,45 @@
+#include "hw/timing_params.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace satin::hw {
+
+double JitterSpec::sample_seconds(sim::Rng& rng) const {
+  if (max_s <= min_s) return avg_s;
+  if (rng.bernoulli(tail_prob)) {
+    // One-sided tail: uniform between the mean and the observed maximum.
+    return rng.uniform(avg_s, max_s);
+  }
+  // Body centered slightly below the mean so the mixture's expectation
+  // lands back on avg_s: E = (1-p)(avg - d) + p(avg + max)/2 = avg
+  // => d = p (max - avg) / (2 (1 - p)).
+  const double d = tail_prob * (max_s - avg_s) / (2.0 * (1.0 - tail_prob));
+  const double center = avg_s - d;
+  const double sd = std::max((avg_s - min_s) / 3.0, 1e-15);
+  return rng.truncated_normal(center, sd, min_s, max_s);
+}
+
+double CrossCoreDelayModel::magnitude_scale(int probed_cores) const {
+  // 6 probed cores -> 1.0 (the Table II configuration); 1 probed core ->
+  // ~0.25 (§IV-B2's single-core observation); linear in between.
+  const int n = std::clamp(probed_cores, 1, 6);
+  return 0.25 + 0.75 * static_cast<double>(n - 1) / 5.0;
+}
+
+double CrossCoreDelayModel::sample_base_seconds(sim::Rng& rng,
+                                                int probed_cores) const {
+  const double s = magnitude_scale(probed_cores);
+  return rng.truncated_normal(base_mean_s * s, base_stddev_s * s,
+                              base_min_s * s, base_max_s * s);
+}
+
+double CrossCoreDelayModel::sample_spike_seconds(sim::Rng& rng,
+                                                 int probed_cores) const {
+  const double s = magnitude_scale(probed_cores);
+  const double mu = std::log(spike_log_median_s);
+  const double raw = rng.lognormal(mu, spike_log_sigma);
+  return std::clamp(raw * s, spike_min_s * s, spike_max_s * s);
+}
+
+}  // namespace satin::hw

@@ -1,0 +1,25 @@
+#include "hw/types.h"
+
+namespace satin::hw {
+
+const char* to_string(CoreType type) {
+  switch (type) {
+    case CoreType::kLittleA53:
+      return "A53";
+    case CoreType::kBigA57:
+      return "A57";
+  }
+  return "?";
+}
+
+const char* to_string(World world) {
+  switch (world) {
+    case World::kNormal:
+      return "normal";
+    case World::kSecure:
+      return "secure";
+  }
+  return "?";
+}
+
+}  // namespace satin::hw

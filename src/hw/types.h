@@ -1,0 +1,36 @@
+// Basic hardware-level vocabulary types shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace satin::hw {
+
+using CoreId = int;
+
+// The Juno r1 board the paper uses is big.LITTLE: 4x Cortex-A53 ("LITTLE",
+// power-efficient) + 2x Cortex-A57 ("big", fast). Core type drives every
+// per-byte timing constant (Table I).
+enum class CoreType { kLittleA53, kBigA57 };
+
+const char* to_string(CoreType type);
+
+// TrustZone world a core currently executes in.
+enum class World { kNormal, kSecure };
+
+const char* to_string(World world);
+
+// Interrupt identifiers. We model the handful of lines the paper's system
+// needs; values mirror the roles, not real GIC INTIDs.
+enum class IrqId : int {
+  kSecurePhysTimer = 29,    // CNTPS — per-core secure timer (self activation)
+  kNonSecurePhysTimer = 30, // CNTP — rich OS scheduling tick
+  kSoftwareGenerated = 8,   // SGI (cross-core IPI), discussed in §V-D
+};
+
+// GIC interrupt group: secure interrupts must reach the secure world even
+// from normal-world execution; non-secure interrupts are pended while a
+// core runs the secure world non-preemptively (SCR_EL3.IRQ = 0), §II-B/§V-B.
+enum class IrqGroup { kSecure, kNonSecure };
+
+}  // namespace satin::hw

@@ -1,0 +1,53 @@
+// The rich OS kernel image: bytes + layout.
+//
+// Produces the deterministic byte content of the kernel static area that
+// the introspection hashes and the rootkit corrupts. Content is synthetic
+// (seeded PRNG "code") but structurally faithful: a real syscall dispatch
+// table whose entries hold handler addresses inside .text, and an AArch64
+// exception vector table at `vectors` whose IRQ slot KProber-I rewrites.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hw/memory.h"
+#include "os/system_map.h"
+
+namespace satin::os {
+
+class KernelImage {
+ public:
+  explicit KernelImage(SystemMap map,
+                       std::uint64_t content_seed = 0x4C534B2D34'34ull);
+
+  const SystemMap& map() const { return map_; }
+  std::size_t size() const { return bytes_.size(); }
+
+  // Pristine (benign) image bytes; authorized hashes are computed on this.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  // Copies the image into physical memory at offset 0 (trusted boot).
+  void install(hw::Memory& memory) const;
+
+  // Offset of syscall table entry `nr` within the image.
+  std::size_t syscall_entry_offset(int nr) const;
+  // The benign 8-byte handler pointer stored at that entry.
+  std::array<std::uint8_t, 8> benign_syscall_entry(int nr) const;
+
+  // Offset of the 8-byte IRQ slot of the exception vector table (the word
+  // KProber-I redirects; AArch64 "IRQ, current EL with SPx" is vector
+  // offset 0x280).
+  std::size_t irq_vector_offset() const;
+  std::array<std::uint8_t, 8> benign_irq_vector() const;
+
+ private:
+  std::array<std::uint8_t, 8> read8(std::size_t offset) const;
+
+  SystemMap map_;
+  std::vector<std::uint8_t> bytes_;
+  std::size_t syscall_table_offset_ = 0;
+  std::size_t vectors_offset_ = 0;
+};
+
+}  // namespace satin::os

@@ -1,0 +1,396 @@
+#include "os/rich_os.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/log.h"
+
+namespace satin::os {
+
+RichOs::RichOs(hw::Platform& platform, KernelImage image, OsConfig config)
+    : platform_(platform),
+      image_(std::move(image)),
+      config_(config),
+      tick_period_(sim::Duration::from_sec_f(1.0 / config.hz)),
+      cpus_(static_cast<std::size_t>(platform.num_cores())) {
+  if (config.hz < 100 || config.hz > 1000) {
+    throw std::invalid_argument("OsConfig: HZ outside the Linux 100..1000 range");
+  }
+}
+
+RichOs::~RichOs() {
+  for (int c = 0; c < platform_.num_cores(); ++c) {
+    platform_.core(c).remove_world_listener(this);
+  }
+}
+
+void RichOs::boot() {
+  if (booted_) throw std::logic_error("RichOs::boot called twice");
+  booted_ = true;
+  image_.install(platform_.memory());
+  for (int c = 0; c < platform_.num_cores(); ++c) {
+    platform_.core(c).add_world_listener(this);
+  }
+  platform_.gic().set_nonsecure_handler([this](hw::CoreId core, hw::IrqId irq) {
+    if (irq == hw::IrqId::kNonSecurePhysTimer) on_tick(core);
+  });
+  // Threads registered before boot become runnable now.
+  for (auto& t : threads_) {
+    if (t->state() == ThreadState::kNew) enqueue_thread(t.get());
+  }
+  for (int c = 0; c < platform_.num_cores(); ++c) {
+    if (cpu(c).current == nullptr) dispatch(c);
+    if (!config_.nohz_idle && !cpu(c).tick_active) program_tick(c);
+  }
+}
+
+Thread* RichOs::add_thread(std::unique_ptr<Thread> thread) {
+  Thread* t = thread.get();
+  t->tid_ = next_tid_++;
+  threads_.push_back(std::move(thread));
+  if (booted_) enqueue_thread(t);
+  return t;
+}
+
+int RichOs::add_tick_hook(TickHook hook) {
+  const int id = next_hook_id_++;
+  tick_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void RichOs::remove_tick_hook(int id) {
+  std::erase_if(tick_hooks_, [id](const auto& p) { return p.first == id; });
+}
+
+std::uint64_t RichOs::syscall_handler_address(int nr) const {
+  const std::size_t off = image_.syscall_entry_offset(nr);
+  const hw::Memory& mem =
+      const_cast<hw::Platform&>(platform_).memory();
+  std::uint64_t value = 0;
+  for (int b = 7; b >= 0; --b) {
+    value = (value << 8) | mem.read(off + static_cast<std::size_t>(b));
+  }
+  return value;
+}
+
+sim::Duration RichOs::idle_time(hw::CoreId core) const {
+  const CpuState& st = cpu(core);
+  sim::Duration total = st.idle_total;
+  if (st.idle_accounting) {
+    total += platform_.engine().now() - st.idle_since;
+  }
+  return total;
+}
+
+int RichOs::runnable_count(hw::CoreId core) const {
+  const CpuState& st = cpu(core);
+  return static_cast<int>(st.queue.size()) + (st.current != nullptr ? 1 : 0);
+}
+
+Thread* RichOs::running_thread(hw::CoreId core) const {
+  return cpu(core).current;
+}
+
+// ---------------------------------------------------------------------------
+// Wake path
+
+void RichOs::enqueue_thread(Thread* thread) {
+  const hw::CoreId core = choose_core(*thread);
+  thread->current_core_ = core;
+  thread->state_ = ThreadState::kRunnable;
+  thread->ran_in_slice_ = sim::Duration::zero();
+  CpuState& st = cpu(core);
+  if (thread->policy() == SchedPolicy::kCfs) {
+    // Sleeper fairness: a waking thread may run soon, but not monopolize —
+    // clamp its vruntime to a bounded bonus below the core's minimum.
+    double ref = st.queue.min_cfs_vruntime();
+    if (st.current != nullptr && st.current->policy() == SchedPolicy::kCfs) {
+      ref = std::min(ref, st.current->vruntime_s_);
+    }
+    if (ref != std::numeric_limits<double>::infinity()) {
+      thread->vruntime_s_ = std::max(thread->vruntime_s_,
+                                     ref - config_.sleeper_bonus_cap_s);
+    }
+  }
+  st.queue.enqueue(thread, enqueue_counter_++);
+  if (st.frozen) return;  // the core is in the secure world; wait for exit
+  if (st.current == nullptr) {
+    dispatch(core);
+  } else {
+    maybe_preempt_for(core, *thread);
+  }
+}
+
+hw::CoreId RichOs::choose_core(const Thread& thread) const {
+  if (thread.pinned_core()) return *thread.pinned_core();
+  hw::CoreId best = 0;
+  int best_score = std::numeric_limits<int>::max();
+  for (int c = 0; c < platform_.num_cores(); ++c) {
+    const CpuState& st = cpu(c);
+    int score = static_cast<int>(st.queue.size()) * 2 +
+                (st.current != nullptr ? 2 : 0) + (st.frozen ? 1 : 0);
+    if (c == thread.current_core()) score -= 1;  // cache affinity
+    if (score < best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void RichOs::maybe_preempt_for(hw::CoreId core, Thread& wakee) {
+  CpuState& st = cpu(core);
+  Thread* cur = st.current;
+  if (cur == nullptr) return;
+  if (RunQueue::rt_preempts(wakee, *cur)) {
+    preempt_current(core);
+    dispatch(core);
+    return;
+  }
+  if (wakee.policy() == SchedPolicy::kCfs &&
+      cur->policy() == SchedPolicy::kCfs) {
+    account_current(core);
+    if (wakee.vruntime_s_ + config_.wakeup_granularity_s < cur->vruntime_s_) {
+      preempt_current(core);
+      dispatch(core);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch and actions
+
+void RichOs::dispatch(hw::CoreId core) {
+  CpuState& st = cpu(core);
+  if (st.frozen || st.current != nullptr) return;
+  Thread* next = st.queue.pop();
+  if (next == nullptr) {
+    mark_idle(core, true);
+    return;
+  }
+  mark_idle(core, false);
+  if (!st.tick_active) program_tick(core);
+  next->state_ = ThreadState::kRunning;
+  next->current_core_ = core;
+  st.current = next;
+  st.slice_start = platform_.engine().now();
+  begin_next_action(core);
+}
+
+void RichOs::begin_next_action(hw::CoreId core) {
+  CpuState& st = cpu(core);
+  Thread* t = st.current;
+  assert(t != nullptr);
+  sim::Engine& engine = platform_.engine();
+
+  if (t->remaining_compute_ > sim::Duration::zero()) {
+    // Resuming a preempted/frozen compute; the context-switch tax applies
+    // when a different thread ran in between.
+    sim::Duration total = t->remaining_compute_;
+    if (st.last_thread != t) total += config_.context_switch_cost;
+    st.last_thread = t;
+    start_compute(core, total);
+    return;
+  }
+
+  OsContext ctx{*this, engine.now(), core};
+  Action action = t->next_action(ctx);
+
+  if (auto* compute = std::get_if<ComputeAction>(&action)) {
+    sim::Duration total = compute->duration;
+    if (total <= sim::Duration::zero()) total = sim::Duration::from_ps(1);
+    t->pending_on_complete_ = std::move(compute->on_complete);
+    t->remaining_compute_ = total;
+    if (st.last_thread != t) total += config_.context_switch_cost;
+    st.last_thread = t;
+    start_compute(core, total);
+    return;
+  }
+  st.last_thread = t;
+
+  if (auto* sleep_for = std::get_if<SleepForAction>(&action)) {
+    const sim::Time wake = engine.now() + sleep_for->duration;
+    t->state_ = ThreadState::kSleeping;
+    st.current = nullptr;
+    engine.schedule_at(wake, [this, t] {
+      if (t->state_ == ThreadState::kSleeping) enqueue_thread(t);
+    });
+    dispatch(core);
+    return;
+  }
+  if (auto* sleep_until = std::get_if<SleepUntilAction>(&action)) {
+    const sim::Time wake =
+        sleep_until->until > engine.now() ? sleep_until->until : engine.now();
+    t->state_ = ThreadState::kSleeping;
+    st.current = nullptr;
+    engine.schedule_at(wake, [this, t] {
+      if (t->state_ == ThreadState::kSleeping) enqueue_thread(t);
+    });
+    dispatch(core);
+    return;
+  }
+  if (std::get_if<YieldAction>(&action) != nullptr) {
+    account_current(core);
+    t->state_ = ThreadState::kRunnable;
+    st.current = nullptr;
+    st.queue.enqueue(t, enqueue_counter_++);
+    dispatch(core);
+    return;
+  }
+  // ExitAction
+  account_current(core);
+  t->state_ = ThreadState::kExited;
+  st.current = nullptr;
+  dispatch(core);
+}
+
+void RichOs::start_compute(hw::CoreId core, sim::Duration total) {
+  CpuState& st = cpu(core);
+  sim::Engine& engine = platform_.engine();
+  st.action_end = engine.now() + total;
+  st.completion =
+      engine.schedule_at(st.action_end, [this, core] { finish_compute(core); });
+}
+
+void RichOs::finish_compute(hw::CoreId core) {
+  CpuState& st = cpu(core);
+  Thread* t = st.current;
+  assert(t != nullptr);
+  account_current(core);
+  t->remaining_compute_ = sim::Duration::zero();
+  auto cb = std::move(t->pending_on_complete_);
+  t->pending_on_complete_ = nullptr;
+  if (cb) {
+    OsContext ctx{*this, platform_.engine().now(), core};
+    cb(ctx);
+  }
+  // The callback may have woken an RT thread that preempted `t`; only
+  // continue with `t` if it still owns this core.
+  if (st.current == t) begin_next_action(core);
+}
+
+void RichOs::preempt_current(hw::CoreId core) {
+  CpuState& st = cpu(core);
+  Thread* t = st.current;
+  assert(t != nullptr);
+  account_current(core);
+  if (st.completion.pending()) {
+    st.completion.cancel();
+    const sim::Time now = platform_.engine().now();
+    t->remaining_compute_ =
+        st.action_end > now ? st.action_end - now : sim::Duration::from_ps(1);
+  }
+  t->state_ = ThreadState::kRunnable;
+  st.current = nullptr;
+  st.queue.enqueue(t, enqueue_counter_++);
+}
+
+void RichOs::account_current(hw::CoreId core) {
+  CpuState& st = cpu(core);
+  Thread* t = st.current;
+  if (t == nullptr) return;
+  const sim::Time now = platform_.engine().now();
+  const sim::Duration elapsed = now - st.slice_start;
+  if (elapsed > sim::Duration::zero()) {
+    t->cpu_time_ += elapsed;
+    t->ran_in_slice_ += elapsed;
+    if (t->policy() == SchedPolicy::kCfs) t->vruntime_s_ += elapsed.sec();
+  }
+  st.slice_start = now;
+}
+
+void RichOs::mark_idle(hw::CoreId core, bool idle) {
+  CpuState& st = cpu(core);
+  const sim::Time now = platform_.engine().now();
+  if (idle && !st.idle_accounting) {
+    st.idle_accounting = true;
+    st.idle_since = now;
+  } else if (!idle && st.idle_accounting) {
+    st.idle_accounting = false;
+    st.idle_total += now - st.idle_since;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tick
+
+void RichOs::program_tick(hw::CoreId core) {
+  CpuState& st = cpu(core);
+  st.tick_active = true;
+  platform_.timer().program_nonsecure(core,
+                                      platform_.engine().now() + tick_period_);
+}
+
+void RichOs::on_tick(hw::CoreId core) {
+  CpuState& st = cpu(core);
+  if (st.frozen) {
+    // A tick pended across a secure stay lands here before our own
+    // on_secure_exit runs (listener order); the exit path re-programs.
+    st.tick_active = false;
+    return;
+  }
+  // Timer-interrupt handler body: hijacked hooks first (KProber-I runs its
+  // Time Reporter/Comparer before resuming the normal handler, §III-C1).
+  if (!tick_hooks_.empty()) {
+    auto hooks = tick_hooks_;  // hooks may unregister themselves
+    const sim::Time now = platform_.engine().now();
+    for (auto& [id, hook] : hooks) hook(core, now);
+  }
+  account_current(core);
+  Thread* cur = st.current;
+  if (cur != nullptr && cur->policy() == SchedPolicy::kCfs &&
+      cur->ran_in_slice_ >= config_.cfs_quantum && st.queue.has_cfs() &&
+      st.queue.min_cfs_vruntime() <= cur->vruntime_s_) {
+    preempt_current(core);
+    dispatch(core);
+  }
+  const bool idle = st.current == nullptr && st.queue.empty();
+  if (idle && config_.nohz_idle) {
+    st.tick_active = false;  // NO_HZ_IDLE: tick stops on the idle core
+    return;
+  }
+  program_tick(core);
+}
+
+// ---------------------------------------------------------------------------
+// Secure-world freeze (the availability side channel)
+
+void RichOs::on_secure_entry(hw::CoreId core, sim::Time) {
+  CpuState& st = cpu(core);
+  st.frozen = true;
+  if (st.current != nullptr) {
+    account_current(core);
+    assert(st.completion.pending());
+    st.completion.cancel();
+    const sim::Time now = platform_.engine().now();
+    st.current->remaining_compute_ =
+        st.action_end > now ? st.action_end - now : sim::Duration::from_ps(1);
+  } else {
+    // The core was OS-idle; pause idle accounting while the secure world
+    // owns it.
+    mark_idle(core, false);
+  }
+}
+
+void RichOs::on_secure_exit(hw::CoreId core, sim::Time) {
+  CpuState& st = cpu(core);
+  st.frozen = false;
+  if (st.current != nullptr) {
+    st.slice_start = platform_.engine().now();
+    start_compute(core, st.current->remaining_compute_);
+    // An RT thread woken during the freeze outranks the resumed thread.
+    Thread* waiting = st.queue.peek();
+    if (waiting != nullptr && RunQueue::rt_preempts(*waiting, *st.current)) {
+      preempt_current(core);
+      dispatch(core);
+    }
+  } else {
+    dispatch(core);
+  }
+  const bool busy = st.current != nullptr || !st.queue.empty();
+  if ((busy || !config_.nohz_idle) && !st.tick_active) program_tick(core);
+}
+
+}  // namespace satin::os

@@ -1,0 +1,80 @@
+#include "os/run_queue.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace satin::os {
+
+void RunQueue::enqueue(Thread* thread, std::uint64_t seq) {
+  if (contains(thread)) {
+    throw std::logic_error("RunQueue::enqueue: already queued: " +
+                           thread->name());
+  }
+  thread->enqueue_seq_ = seq;
+  threads_.push_back(thread);
+}
+
+void RunQueue::remove(Thread* thread) {
+  threads_.erase(std::remove(threads_.begin(), threads_.end(), thread),
+                 threads_.end());
+}
+
+bool RunQueue::contains(const Thread* thread) const {
+  return std::find(threads_.begin(), threads_.end(), thread) != threads_.end();
+}
+
+bool RunQueue::ranks_before(const Thread* a, const Thread* b) {
+  const bool a_rt = a->policy() == SchedPolicy::kRtFifo;
+  const bool b_rt = b->policy() == SchedPolicy::kRtFifo;
+  if (a_rt != b_rt) return a_rt;
+  if (a_rt) {
+    if (a->rt_priority() != b->rt_priority()) {
+      return a->rt_priority() > b->rt_priority();
+    }
+    return a->enqueue_seq_ < b->enqueue_seq_;  // FIFO
+  }
+  return a->vruntime_s_ < b->vruntime_s_;
+}
+
+Thread* RunQueue::peek() const {
+  Thread* best = nullptr;
+  for (Thread* t : threads_) {
+    if (best == nullptr || ranks_before(t, best)) best = t;
+  }
+  return best;
+}
+
+Thread* RunQueue::pop() {
+  Thread* best = peek();
+  if (best != nullptr) remove(best);
+  return best;
+}
+
+bool RunQueue::rt_preempts(const Thread& candidate, const Thread& current) {
+  if (candidate.policy() != SchedPolicy::kRtFifo) return false;
+  if (current.policy() != SchedPolicy::kRtFifo) return true;
+  return candidate.rt_priority() > current.rt_priority();
+}
+
+bool RunQueue::has_cfs() const {
+  return std::any_of(threads_.begin(), threads_.end(), [](const Thread* t) {
+    return t->policy() == SchedPolicy::kCfs;
+  });
+}
+
+bool RunQueue::has_rt() const {
+  return std::any_of(threads_.begin(), threads_.end(), [](const Thread* t) {
+    return t->policy() == SchedPolicy::kRtFifo;
+  });
+}
+
+double RunQueue::min_cfs_vruntime() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Thread* t : threads_) {
+    if (t->policy() == SchedPolicy::kCfs) best = std::min(best, t->vruntime_s_);
+  }
+  return best;
+}
+
+}  // namespace satin::os

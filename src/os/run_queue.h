@@ -1,0 +1,51 @@
+// Per-core run queue with Linux-like class ordering.
+//
+// RT (SCHED_FIFO) tasks strictly outrank CFS tasks; among RT tasks higher
+// rt_priority wins and equal priorities run FIFO; among CFS tasks the
+// smallest vruntime wins. §III-C2 relies on exactly this contract: a
+// max-priority FIFO prober cannot be delayed by any CFS thread or
+// lower-priority RT thread.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "os/thread.h"
+
+namespace satin::os {
+
+class RunQueue {
+ public:
+  void enqueue(Thread* thread, std::uint64_t seq);
+  void remove(Thread* thread);
+  bool contains(const Thread* thread) const;
+
+  // Highest-ranked waiting thread (nullptr if empty). Does not dequeue.
+  Thread* peek() const;
+  // Removes and returns the highest-ranked waiting thread.
+  Thread* pop();
+
+  // Would `candidate` preempt `current` if it arrived now? Encodes the
+  // class rules: RT preempts CFS; higher RT priority preempts lower; equal
+  // RT priority does NOT preempt (FIFO); CFS wake-up preemption is decided
+  // by the scheduler's vruntime check, not here.
+  static bool rt_preempts(const Thread& candidate, const Thread& current);
+
+  bool empty() const { return threads_.empty(); }
+  std::size_t size() const { return threads_.size(); }
+  bool has_cfs() const;
+  bool has_rt() const;
+  double min_cfs_vruntime() const;  // +inf if no CFS thread waits
+
+  const std::vector<Thread*>& threads() const { return threads_; }
+
+ private:
+  // true if a ranks strictly ahead of b under the class rules.
+  static bool ranks_before(const Thread* a, const Thread* b);
+
+  // Small per-core populations (a handful of threads); a flat vector with
+  // linear scans beats tree structures and keeps iteration trivial.
+  std::vector<Thread*> threads_;
+};
+
+}  // namespace satin::os

@@ -1,0 +1,195 @@
+#include "os/system_map.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace satin::os {
+
+SystemMap::SystemMap(std::vector<Section> sections, std::vector<Symbol> symbols)
+    : sections_(std::move(sections)), symbols_(std::move(symbols)) {
+  if (sections_.empty()) throw std::invalid_argument("SystemMap: no sections");
+  std::sort(sections_.begin(), sections_.end(),
+            [](const Section& a, const Section& b) {
+              return a.offset < b.offset;
+            });
+  std::size_t cursor = 0;
+  int max_region = -1;
+  for (const Section& s : sections_) {
+    if (s.offset != cursor) {
+      throw std::invalid_argument("SystemMap: sections not contiguous at " +
+                                  s.name);
+    }
+    if (s.region < 0) {
+      throw std::invalid_argument("SystemMap: section without region: " +
+                                  s.name);
+    }
+    cursor = s.end();
+    max_region = std::max(max_region, s.region);
+  }
+  total_size_ = cursor;
+  region_count_ = max_region + 1;
+  // Regions must each be one contiguous extent; region_extent throws if not.
+  for (int r = 0; r < region_count_; ++r) (void)region_extent(r);
+}
+
+SystemMap::Extent SystemMap::region_extent(int region) const {
+  std::size_t lo = total_size_;
+  std::size_t hi = 0;
+  std::size_t covered = 0;
+  for (const Section& s : sections_) {
+    if (s.region != region) continue;
+    lo = std::min(lo, s.offset);
+    hi = std::max(hi, s.end());
+    covered += s.size;
+  }
+  if (covered == 0) {
+    throw std::invalid_argument("SystemMap: empty region");
+  }
+  if (covered != hi - lo) {
+    throw std::invalid_argument("SystemMap: region not contiguous");
+  }
+  return Extent{lo, hi - lo};
+}
+
+std::optional<Symbol> SystemMap::find_symbol(const std::string& name) const {
+  for (const Symbol& s : symbols_) {
+    if (s.name == name) return s;
+  }
+  return std::nullopt;
+}
+
+int SystemMap::region_of(std::size_t offset) const {
+  for (const Section& s : sections_) {
+    if (offset >= s.offset && offset < s.end()) return s.region;
+  }
+  throw std::out_of_range("SystemMap::region_of: offset outside kernel");
+}
+
+namespace {
+
+class MapBuilder {
+ public:
+  // Appends one introspection region made of parts with integer weights;
+  // the last part absorbs rounding so the region size is exact.
+  void add_region(std::size_t region_size, SectionKind kind,
+                  std::vector<std::pair<std::string, int>> parts) {
+    int total_weight = 0;
+    for (const auto& [name, w] : parts) total_weight += w;
+    std::vector<std::pair<std::string, std::size_t>> exact;
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const bool last = i + 1 == parts.size();
+      const std::size_t size =
+          last ? region_size - used
+               : region_size * static_cast<std::size_t>(parts[i].second) /
+                     static_cast<std::size_t>(total_weight);
+      exact.emplace_back(parts[i].first, size);
+      used += size;
+    }
+    add_region_exact(kind, exact);
+  }
+
+  // Appends one region from explicitly sized sections.
+  void add_region_exact(
+      SectionKind kind,
+      const std::vector<std::pair<std::string, std::size_t>>& parts) {
+    for (const auto& [name, size] : parts) {
+      if (size == 0) continue;
+      sections_.push_back(Section{name, cursor_, size, kind, region_});
+      cursor_ += size;
+    }
+    ++region_;
+  }
+
+  void add_symbol(std::string name, std::size_t offset, std::size_t size) {
+    symbols_.push_back(Symbol{std::move(name), offset, size});
+  }
+
+  std::size_t cursor() const { return cursor_; }
+
+  SystemMap build() {
+    return SystemMap(std::move(sections_), std::move(symbols_));
+  }
+
+ private:
+  std::vector<Section> sections_;
+  std::vector<Symbol> symbols_;
+  std::size_t cursor_ = 0;
+  int region_ = 0;
+};
+
+}  // namespace
+
+SystemMap make_default_map() {
+  MapBuilder b;
+
+  // Region sizes are chosen so that: the total matches the paper's kernel
+  // static area (11,916,240 B), there are 19 regions, the largest is
+  // 876,616 B, the smallest 431,360 B (§VI-A2), and every region stays
+  // below the §IV-C race bound of 1,218,351 B. The .text/.rodata split
+  // mirrors an arm64 lsk-4.4 System.map at coarse grain.
+
+  // Region 0: kernel entry + start of .text; hosts the AArch64 exception
+  // vector table (the VBAR_EL1 target KProber-I redirects, §IV-A1).
+  b.add_symbol("_text", 0, 0);
+  b.add_symbol("vectors", 2048, 2048);
+  b.add_region(608'264, SectionKind::kText,
+               {{".head.text", 1}, {".text.entry", 9}, {".text.core.0", 90}});
+
+  // Regions 1..8: remainder of .text.
+  const std::size_t text_parts[] = {705'000, 545'000, 670'000, 580'000,
+                                    730'000, 520'000, 650'000, 600'000};
+  int text_idx = 1;
+  for (std::size_t size : text_parts) {
+    b.add_region(size, SectionKind::kText,
+                 {{".text.core." + std::to_string(text_idx), 7},
+                  {".text.cold." + std::to_string(text_idx), 2},
+                  {".text.unlikely." + std::to_string(text_idx), 1}});
+    ++text_idx;
+  }
+  b.add_symbol("_etext", b.cursor(), 0);
+
+  // Regions 9..14: .rodata. arm64 keeps sys_call_table const, so the table
+  // (291 entries x 8 B) sits in the last .rodata region — region 14, where
+  // §VI-B1 places the hijacked GETTID handler.
+  const std::size_t rodata_parts[] = {685'000, 565'000, 638'000, 612'000,
+                                      652'500};
+  for (int i = 0; i < 5; ++i) {
+    b.add_region(rodata_parts[i], SectionKind::kRoData,
+                 {{".rodata." + std::to_string(i), 4},
+                  {".rodata.str." + std::to_string(i), 1}});
+  }
+  {
+    constexpr std::size_t kRegionSize = 597'500;
+    constexpr std::size_t kPre = 200'000;
+    constexpr std::size_t kTableBytes =
+        static_cast<std::size_t>(kSyscallTableEntries) * kSyscallEntryBytes;
+    b.add_symbol("sys_call_table", b.cursor() + kPre, kTableBytes);
+    b.add_region_exact(SectionKind::kRoData,
+                       {{".rodata.5", kPre},
+                        {".rodata.syscalls", kTableBytes},
+                        {".rodata.5b", kRegionSize - kPre - kTableBytes}});
+  }
+
+  // Region 15: export/parameter tables.
+  b.add_region(709'000, SectionKind::kOther,
+               {{"__ksymtab", 3}, {"__kcrctab", 1}, {"__param", 1}});
+
+  // Region 16: init text/data (static after boot in this model — the
+  // introspection hashes it like the rest of the image).
+  b.add_region(541'000, SectionKind::kInit,
+               {{".init.text", 11}, {".init.data", 9}});
+
+  // Region 17: .data — the largest area (876,616 B).
+  b.add_region(876'616, SectionKind::kData,
+               {{".data..percpu", 1}, {".data", 9}});
+
+  // Region 18: .bss — the smallest area (431,360 B).
+  b.add_region_exact(SectionKind::kBss,
+                     {{".bss", 431'360 - 16'384}, {".brk", 16'384}});
+
+  b.add_symbol("_end", b.cursor(), 0);
+  return b.build();
+}
+
+}  // namespace satin::os

@@ -1,0 +1,89 @@
+// Synthetic System.map of the rich OS kernel.
+//
+// The paper's normal world runs OpenEmbedded LAMP with kernel lsk-4.4-armlt
+// (§IV-A); its System.map drives two things we must reproduce exactly:
+//   * the kernel static area is 11,916,240 bytes (§IV-C), and
+//   * SATIN divides it, at System.map boundaries, into 19 introspection
+//     areas — largest 876,616 B, smallest 431,360 B — with the hijacked
+//     syscall handler living in area 14 (§VI-A2, §VI-B1).
+// We cannot ship the original OpenEmbedded image, so `make_default_map()`
+// synthesizes a section list with the same totals, the same area grouping,
+// and the interesting symbols (sys_call_table, the exception vector table)
+// at section-consistent offsets. A generic partitioner for arbitrary maps
+// lives in core/areas.h; the default map carries explicit region indices
+// the way the authors grouped their map.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace satin::os {
+
+// Rough classification of a System.map region (affects nothing in the
+// race; kept for realism and for tests that reason about the layout).
+enum class SectionKind { kText, kRoData, kData, kBss, kInit, kOther };
+
+struct Section {
+  std::string name;
+  std::size_t offset = 0;  // from kernel image start
+  std::size_t size = 0;
+  SectionKind kind = SectionKind::kOther;
+  // Introspection area this section belongs to ("each section of the
+  // normal world OS's System.map only belongs to one area", §VI-A2).
+  int region = -1;
+
+  std::size_t end() const { return offset + size; }
+};
+
+struct Symbol {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
+
+class SystemMap {
+ public:
+  SystemMap(std::vector<Section> sections, std::vector<Symbol> symbols);
+
+  const std::vector<Section>& sections() const { return sections_; }
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+
+  std::size_t total_size() const { return total_size_; }
+  int region_count() const { return region_count_; }
+
+  // Contiguous [offset, size) extent of one region.
+  struct Extent {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    std::size_t end() const { return offset + size; }
+  };
+  Extent region_extent(int region) const;
+
+  std::optional<Symbol> find_symbol(const std::string& name) const;
+  // Region containing the byte at `offset`.
+  int region_of(std::size_t offset) const;
+
+ private:
+  std::vector<Section> sections_;
+  std::vector<Symbol> symbols_;
+  std::size_t total_size_ = 0;
+  int region_count_ = 0;
+};
+
+// The default Juno/lsk-4.4-flavoured map described above. Guarantees
+// (asserted by tests):
+//   total_size() == 11,916,240
+//   region_count() == 19
+//   max region size == 876,616; min region size == 431,360
+//   find_symbol("sys_call_table") lies in region 14
+//   find_symbol("vectors") (exception vector table) lies in region 0
+SystemMap make_default_map();
+
+// Syscall numbers used by the sample attack (§IV-A2): AArch64 __NR_gettid.
+inline constexpr int kGettidSyscallNr = 178;
+inline constexpr std::size_t kSyscallEntryBytes = 8;
+inline constexpr int kSyscallTableEntries = 291;
+
+}  // namespace satin::os

@@ -1,0 +1,123 @@
+// Rich-OS thread model.
+//
+// Threads are cooperative state machines driven by the scheduler: each
+// time a thread may proceed, the scheduler asks for its next Action
+// (compute for a duration, sleep, yield, exit). Compute actions are
+// preemptible — the scheduler tracks the unfinished remainder across
+// preemptions, CFS quantum expiry and secure-world freezes, which is
+// exactly how a prober thread "loses" time when its core is taken.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "hw/types.h"
+#include "sim/time.h"
+
+namespace satin::os {
+
+class RichOs;
+
+// Linux scheduling classes the paper leans on (§III-C2): SCHED_FIFO
+// outranks CFS; higher rt_priority outranks lower.
+enum class SchedPolicy { kCfs, kRtFifo };
+
+enum class ThreadState { kNew, kRunnable, kRunning, kSleeping, kExited };
+
+struct OsContext {
+  RichOs& os;
+  sim::Time now;
+  hw::CoreId core;
+};
+
+// Consume CPU for `duration`; `on_complete` (optional) runs when the full
+// duration has been executed (across preemptions).
+struct ComputeAction {
+  sim::Duration duration;
+  std::function<void(OsContext&)> on_complete;
+};
+struct SleepForAction {
+  sim::Duration duration;
+};
+struct SleepUntilAction {
+  sim::Time until;
+};
+struct YieldAction {};
+struct ExitAction {};
+
+using Action = std::variant<ComputeAction, SleepForAction, SleepUntilAction,
+                            YieldAction, ExitAction>;
+
+class Thread {
+ public:
+  explicit Thread(std::string name) : name_(std::move(name)) {}
+  virtual ~Thread() = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  // Called whenever the previous action finished; returns what to do next.
+  virtual Action next_action(OsContext& ctx) = 0;
+
+  const std::string& name() const { return name_; }
+  int tid() const { return tid_; }
+  ThreadState state() const { return state_; }
+  SchedPolicy policy() const { return policy_; }
+  int rt_priority() const { return rt_priority_; }
+
+  // pthread_setschedparam equivalent (§IV-A1 uses SCHED_FIFO with
+  // sched_get_priority_max for all KProber-II threads).
+  void set_policy(SchedPolicy policy, int rt_priority = 0) {
+    policy_ = policy;
+    rt_priority_ = rt_priority;
+  }
+
+  // CPU-affinity pinning (§III-B1: "we fix the CPU affinity of each
+  // thread" so a paused thread cannot migrate off a secure-held core).
+  void pin_to_core(hw::CoreId core) { pinned_ = core; }
+  void clear_pinning() { pinned_.reset(); }
+  std::optional<hw::CoreId> pinned_core() const { return pinned_; }
+
+  // Core the thread is currently running/queued on (-1 if none).
+  hw::CoreId current_core() const { return current_core_; }
+
+  // Total CPU time actually executed (drives Fig. 7 accounting).
+  sim::Duration cpu_time() const { return cpu_time_; }
+
+ private:
+  friend class RichOs;
+  friend class RunQueue;
+  std::string name_;
+  int tid_ = -1;
+  ThreadState state_ = ThreadState::kNew;
+  SchedPolicy policy_ = SchedPolicy::kCfs;
+  int rt_priority_ = 0;
+  std::optional<hw::CoreId> pinned_;
+  hw::CoreId current_core_ = -1;
+
+  // Scheduler bookkeeping.
+  double vruntime_s_ = 0.0;          // CFS virtual runtime, seconds
+  sim::Duration remaining_compute_;  // unfinished part of current compute
+  std::function<void(OsContext&)> pending_on_complete_;
+  sim::Time last_dispatch_;          // when it last got the CPU
+  sim::Duration ran_in_slice_;       // time on CPU since last enqueue
+  sim::Duration cpu_time_;
+  std::uint64_t enqueue_seq_ = 0;    // FIFO order within RT priority
+};
+
+// Thread defined by a lambda; handy for tests and simple workloads.
+class FunctionThread final : public Thread {
+ public:
+  using Fn = std::function<Action(OsContext&)>;
+  FunctionThread(std::string name, Fn fn)
+      : Thread(std::move(name)), fn_(std::move(fn)) {}
+
+  Action next_action(OsContext& ctx) override { return fn_(ctx); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace satin::os

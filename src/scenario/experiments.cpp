@@ -1,0 +1,135 @@
+#include "scenario/experiments.h"
+
+#include <algorithm>
+
+#include "os/system_map.h"
+
+namespace satin::scenario {
+
+SecureActivityLog::SecureActivityLog(hw::Platform& platform)
+    : platform_(platform),
+      open_(static_cast<std::size_t>(platform.num_cores()), -1) {
+  for (int c = 0; c < platform_.num_cores(); ++c) {
+    platform_.core(c).add_world_listener(this);
+  }
+}
+
+SecureActivityLog::~SecureActivityLog() {
+  for (int c = 0; c < platform_.num_cores(); ++c) {
+    platform_.core(c).remove_world_listener(this);
+  }
+}
+
+void SecureActivityLog::on_secure_entry(hw::CoreId core, sim::Time when) {
+  open_.at(static_cast<std::size_t>(core)) =
+      static_cast<int>(intervals_.size());
+  intervals_.push_back(Interval{core, when, sim::Time::zero(), false});
+}
+
+void SecureActivityLog::on_secure_exit(hw::CoreId core, sim::Time when) {
+  const int idx = open_.at(static_cast<std::size_t>(core));
+  if (idx >= 0) {
+    intervals_[static_cast<std::size_t>(idx)].exit = when;
+    intervals_[static_cast<std::size_t>(idx)].closed = true;
+    open_[static_cast<std::size_t>(core)] = -1;
+  }
+}
+
+DuelReport run_duel(Scenario& scenario, const DuelConfig& config) {
+  auto& platform = scenario.platform();
+  SecureActivityLog activity(platform);
+
+  // Trusted boot order matters: SATIN measures the pristine kernel before
+  // the attack is planted. The defense may wake at any moment after
+  // start(), so the evader's probers are deployed and warmed up first —
+  // an APT attacker is in place long before the next introspection round
+  // (§III-A), not racing the bootstrap.
+  core::Satin satin(platform, scenario.kernel(), scenario.tsp(),
+                    config.satin);
+  satin.checker().authorize_boot_state();
+
+  attack::EvaderConfig evader_config = config.evader;
+  evader_config.auto_install = false;
+  attack::TzEvader evader(scenario.os(), evader_config);
+  struct Detection {
+    hw::CoreId core;
+    sim::Time when;
+  };
+  std::vector<Detection> detections;
+  evader.set_detect_observer(
+      [&detections](hw::CoreId core, sim::Time when, sim::Duration) {
+        detections.push_back(Detection{core, when});
+      });
+  evader.deploy();
+  scenario.run_for(sim::Duration::from_ms(10));  // prober warm-up
+  satin.start();
+  evader.rootkit().install();
+
+  const sim::Time start = scenario.now();
+  const sim::Time deadline =
+      start + sim::Duration::from_sec_f(config.max_sim_seconds);
+  while (satin.rounds() < config.rounds_target && scenario.now() < deadline) {
+    scenario.run_for(sim::Duration::from_sec(1));
+  }
+  satin.stop();
+  evader.prober().retract();
+
+  DuelReport report;
+  report.rounds = satin.rounds();
+  report.alarms = satin.alarm_count();
+  report.full_cycles = satin.full_cycles();
+  report.sim_seconds = (scenario.now() - start).sec();
+  report.evasions_started = evader.evasions_started();
+  report.rearms = evader.rearms();
+  report.prober_detections = static_cast<std::uint64_t>(detections.size());
+  report.secure_stays = activity.stay_count();
+
+  const std::size_t gettid_offset =
+      scenario.kernel().syscall_entry_offset(os::kGettidSyscallNr);
+  report.target_area = satin.area_of_offset(gettid_offset);
+
+  sim::Time prev_target_entry;
+  bool have_prev = false;
+  double gap_sum = 0.0;
+  std::size_t gap_count = 0;
+  for (const core::RoundRecord& r : satin.round_records()) {
+    if (r.area != report.target_area) continue;
+    ++report.target_area_rounds;
+    if (r.alarm) ++report.target_area_alarms;
+    if (have_prev) {
+      gap_sum += (r.entry - prev_target_entry).sec();
+      ++gap_count;
+    }
+    prev_target_entry = r.entry;
+    have_prev = true;
+  }
+  if (gap_count > 0) {
+    report.avg_target_gap_s = gap_sum / static_cast<double>(gap_count);
+  }
+
+  // Correlate detections with ground truth. A detection is genuine if it
+  // falls inside a secure stay (small exit margin: the last staleness
+  // sample may land just after the world switch back).
+  const sim::Duration margin = sim::Duration::from_ms(2);
+  for (const Detection& d : detections) {
+    const bool genuine = std::any_of(
+        activity.intervals().begin(), activity.intervals().end(),
+        [&](const SecureActivityLog::Interval& iv) {
+          return iv.core == d.core && d.when >= iv.entry &&
+                 (!iv.closed || d.when <= iv.exit + margin);
+        });
+    if (!genuine) ++report.false_positives;
+  }
+  for (const auto& iv : activity.intervals()) {
+    if (!iv.closed) continue;
+    const bool noticed = std::any_of(
+        detections.begin(), detections.end(), [&](const Detection& d) {
+          return d.core == iv.core && d.when >= iv.entry &&
+                 d.when <= iv.exit + margin;
+        });
+    if (!noticed) ++report.false_negatives;
+  }
+  return report;
+}
+
+}  // namespace satin::scenario

@@ -1,0 +1,88 @@
+// Experiment harnesses shared by the benches and integration tests.
+//
+// run_duel() stages the paper's central confrontation: an introspection
+// mechanism (SATIN or a degenerate baseline) in the secure world versus
+// TZ-Evader in the normal world, then correlates prober detections with
+// ground-truth secure-world activity to compute the §VI-B1 statistics
+// (rounds, alarms, target-area hits, false positives/negatives, gaps).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/evader.h"
+#include "core/satin.h"
+#include "scenario/scenario.h"
+
+namespace satin::scenario {
+
+// Ground-truth log of secure-world stays (the experiment's oracle; not
+// visible to the attack, which only sees the availability side channel).
+class SecureActivityLog final : public hw::WorldListener {
+ public:
+  struct Interval {
+    hw::CoreId core = -1;
+    sim::Time entry;
+    sim::Time exit;
+    bool closed = false;
+  };
+
+  explicit SecureActivityLog(hw::Platform& platform);
+  ~SecureActivityLog() override;
+
+  void on_secure_entry(hw::CoreId core, sim::Time when) override;
+  void on_secure_exit(hw::CoreId core, sim::Time when) override;
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  std::size_t stay_count() const { return intervals_.size(); }
+
+ private:
+  hw::Platform& platform_;
+  std::vector<Interval> intervals_;
+  std::vector<int> open_;  // per-core index into intervals_, -1 if none
+};
+
+struct DuelConfig {
+  core::SatinConfig satin;
+  attack::EvaderConfig evader;
+  // Stop once this many introspection rounds completed.
+  std::uint64_t rounds_target = 190;
+  // Hard wall on simulated time (safety for misconfigured runs).
+  double max_sim_seconds = 2.0e4;
+};
+
+struct DuelReport {
+  std::uint64_t rounds = 0;
+  std::uint64_t alarms = 0;
+  std::uint64_t full_cycles = 0;
+  int target_area = -1;
+  std::uint64_t target_area_rounds = 0;
+  std::uint64_t target_area_alarms = 0;
+  // Average time between consecutive checks of the target area (§VI-B1
+  // reports 141 s).
+  double avg_target_gap_s = 0.0;
+  // Ground truth vs prober.
+  std::uint64_t secure_stays = 0;
+  std::uint64_t prober_detections = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t false_negatives = 0;
+  // Attack bookkeeping.
+  std::uint64_t evasions_started = 0;
+  std::uint64_t rearms = 0;
+  double sim_seconds = 0.0;
+
+  // §VI-B1 success criterion: every target-area round raised an alarm and
+  // the prober had neither false positives nor false negatives.
+  bool satin_always_caught() const {
+    return target_area_rounds > 0 && target_area_alarms == target_area_rounds;
+  }
+  // Attack success criterion (§IV-C): armed rounds over the target area
+  // never alarmed.
+  bool evader_always_escaped() const {
+    return target_area_rounds > 0 && target_area_alarms == 0;
+  }
+};
+
+DuelReport run_duel(Scenario& scenario, const DuelConfig& config);
+
+}  // namespace satin::scenario

@@ -1,0 +1,15 @@
+#include "scenario/scenario.h"
+
+#include "os/system_map.h"
+
+namespace satin::scenario {
+
+Scenario::Scenario(ScenarioConfig config) {
+  platform_ = std::make_unique<hw::Platform>(config.platform);
+  os_ = std::make_unique<os::RichOs>(
+      *platform_, os::KernelImage(os::make_default_map()), config.os);
+  tsp_ = std::make_unique<secure::TestSecurePayload>(*platform_);
+  if (config.boot) os_->boot();
+}
+
+}  // namespace satin::scenario

@@ -1,0 +1,45 @@
+// One-stop assembly of the full simulated Juno system.
+//
+// Examples, tests and benches all need the same stack: platform hardware,
+// a booted rich OS with the default kernel image, and the TSP in the
+// secure world. Scenario owns the pieces in dependency order and exposes
+// them; higher-level actors (SATIN, baselines, TZ-Evader, workloads) are
+// attached by the caller.
+#pragma once
+
+#include <memory>
+
+#include "hw/platform.h"
+#include "os/rich_os.h"
+#include "secure/tsp.h"
+
+namespace satin::scenario {
+
+struct ScenarioConfig {
+  hw::PlatformConfig platform;
+  os::OsConfig os;
+  // Boot the rich OS immediately (install image, start ticks).
+  bool boot = true;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config = {});
+
+  hw::Platform& platform() { return *platform_; }
+  os::RichOs& os() { return *os_; }
+  secure::TestSecurePayload& tsp() { return *tsp_; }
+  const os::KernelImage& kernel() const { return os_->kernel_image(); }
+  sim::Engine& engine() { return platform_->engine(); }
+
+  void run_for(sim::Duration d) { platform_->engine().run_for(d); }
+  void run_until(sim::Time t) { platform_->engine().run_until(t); }
+  sim::Time now() const { return platform_->now(); }
+
+ private:
+  std::unique_ptr<hw::Platform> platform_;
+  std::unique_ptr<os::RichOs> os_;
+  std::unique_ptr<secure::TestSecurePayload> tsp_;
+};
+
+}  // namespace satin::scenario

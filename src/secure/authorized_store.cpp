@@ -1,0 +1,28 @@
+#include "secure/authorized_store.h"
+
+#include <stdexcept>
+
+namespace satin::secure {
+
+void AuthorizedStore::authorize(const std::string& key, std::uint64_t digest) {
+  const auto [it, inserted] = digests_.emplace(key, digest);
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("AuthorizedStore: re-authorization of " + key);
+  }
+}
+
+std::optional<std::uint64_t> AuthorizedStore::lookup(
+    const std::string& key) const {
+  const auto it = digests_.find(key);
+  if (it == digests_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool AuthorizedStore::matches(const std::string& key,
+                              std::uint64_t digest) const {
+  const auto value = lookup(key);
+  return value.has_value() && *value == digest;
+}
+
+}  // namespace satin::secure

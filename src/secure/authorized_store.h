@@ -1,0 +1,33 @@
+// The authorized hash table stored in the secure world (§VI-A2).
+//
+// At trusted-boot time the integrity checker hashes each benign kernel
+// area and deposits the digests here; the normal world has no access path
+// to this storage in the model, mirroring TrustZone secure memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace satin::secure {
+
+class AuthorizedStore {
+ public:
+  // Records the benign digest for `key` (e.g. "area/14"). Overwriting an
+  // existing key is rejected: authorized values are written once at boot.
+  void authorize(const std::string& key, std::uint64_t digest);
+
+  std::optional<std::uint64_t> lookup(const std::string& key) const;
+
+  // True iff `digest` matches the authorized value for `key`; a missing
+  // key counts as a mismatch (fail closed).
+  bool matches(const std::string& key, std::uint64_t digest) const;
+
+  std::size_t size() const { return digests_.size(); }
+
+ private:
+  std::map<std::string, std::uint64_t> digests_;
+};
+
+}  // namespace satin::secure

@@ -1,0 +1,51 @@
+#include "secure/hash.h"
+
+namespace satin::secure {
+
+const char* to_string(HashKind kind) {
+  switch (kind) {
+    case HashKind::kDjb2:
+      return "djb2";
+    case HashKind::kSdbm:
+      return "sdbm";
+    case HashKind::kFnv1a:
+      return "fnv1a";
+  }
+  return "?";
+}
+
+std::uint64_t hash_djb2(std::span<const std::uint8_t> data) {
+  // Bernstein's djb2 ("hash * 33 + c"), the function cited by the paper.
+  std::uint64_t hash = 5381;
+  for (std::uint8_t c : data) hash = ((hash << 5) + hash) + c;
+  return hash;
+}
+
+std::uint64_t hash_sdbm(std::span<const std::uint8_t> data) {
+  std::uint64_t hash = 0;
+  for (std::uint8_t c : data) hash = c + (hash << 6) + (hash << 16) - hash;
+  return hash;
+}
+
+std::uint64_t hash_fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (std::uint8_t c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t hash_bytes(HashKind kind, std::span<const std::uint8_t> data) {
+  switch (kind) {
+    case HashKind::kDjb2:
+      return hash_djb2(data);
+    case HashKind::kSdbm:
+      return hash_sdbm(data);
+    case HashKind::kFnv1a:
+      return hash_fnv1a(data);
+  }
+  return 0;
+}
+
+}  // namespace satin::secure

@@ -1,0 +1,58 @@
+#include "secure/introspect.h"
+
+#include <utility>
+
+namespace satin::secure {
+
+const char* to_string(ScanStrategy strategy) {
+  switch (strategy) {
+    case ScanStrategy::kDirectHash:
+      return "direct-hash";
+    case ScanStrategy::kSnapshotThenHash:
+      return "snapshot";
+  }
+  return "?";
+}
+
+Introspector::Introspector(hw::Platform& platform, HashKind hash,
+                           ScanStrategy strategy)
+    : platform_(platform),
+      hash_(hash),
+      strategy_(strategy),
+      rng_(platform.rng().fork("introspector")) {}
+
+double Introspector::sample_per_byte_seconds(hw::CoreType type) {
+  const hw::JitterSpec& spec = strategy_ == ScanStrategy::kDirectHash
+                                   ? platform_.timing().hash_per_byte(type)
+                                   : platform_.timing().snapshot_per_byte(type);
+  return spec.sample_seconds(rng_);
+}
+
+void Introspector::scan_async(hw::CoreId core, std::size_t offset,
+                              std::size_t length,
+                              std::function<void(const ScanResult&)> done) {
+  const hw::CoreType type = platform_.core(core).type();
+  const double per_byte_s = sample_per_byte_seconds(type);
+  const double per_byte_ps = per_byte_s * 1e12;
+  const sim::Time start = platform_.engine().now();
+  auto token = platform_.memory().begin_scan(start, offset, length, per_byte_ps);
+
+  const sim::Duration total = sim::Duration::from_sec_f(
+      per_byte_s * static_cast<double>(length));
+  platform_.engine().schedule_after(
+      total, [this, token, offset, length, start, per_byte_s,
+              done = std::move(done)]() mutable {
+        const auto seen = platform_.memory().finish_scan(token);
+        ScanResult result;
+        result.digest = hash_bytes(hash_, seen);
+        result.offset = offset;
+        result.length = length;
+        result.scan_start = start;
+        result.scan_end = platform_.engine().now();
+        result.per_byte_s = per_byte_s;
+        ++scans_;
+        done(result);
+      });
+}
+
+}  // namespace satin::secure

@@ -1,0 +1,102 @@
+// Discrete-event simulation engine.
+//
+// The whole reproduction runs on one of these: hardware timers, scheduler
+// ticks, introspection scans, prober wake-ups are all events. Events at
+// equal timestamps fire in scheduling order (a monotone sequence number
+// breaks ties), which keeps runs deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace satin::sim {
+
+using Callback = std::function<void()>;
+
+// Handle to a scheduled event; allows cancellation (used when the secure
+// world freezes a core's normal-world events, when timers are reprogrammed,
+// and when sleeping threads are woken early).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True while the event is scheduled and neither fired nor cancelled.
+  bool pending() const;
+  // Cancels the event if still pending; no-op otherwise.
+  void cancel();
+  // The time the event was scheduled to fire at.
+  Time when() const;
+
+ private:
+  friend class Engine;
+  struct State {
+    Callback callback;
+    Time when;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  EventHandle schedule_at(Time when, Callback cb);
+  EventHandle schedule_after(Duration delay, Callback cb) {
+    return schedule_at(now_ + delay, cb);
+  }
+
+  // Runs the single next event, if any. Returns false when the queue is
+  // empty (after skipping cancelled entries).
+  bool step();
+
+  // Runs every event with timestamp <= deadline, then advances the clock to
+  // the deadline. Returns the number of events fired.
+  std::size_t run_until(Time deadline);
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  // Drains the queue completely (use only for bounded simulations).
+  std::size_t run_all();
+
+  // Callable from inside a callback: makes the enclosing run_* return once
+  // the current event finishes.
+  void request_stop() { stop_requested_ = true; }
+
+  std::size_t pending_count() const;
+  std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct QueueEntry {
+    Time when;
+    std::uint64_t seq;
+    std::shared_ptr<EventHandle::State> state;
+    bool operator>(const QueueEntry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  bool fire_next(Time limit);
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+};
+
+}  // namespace satin::sim

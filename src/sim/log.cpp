@@ -1,0 +1,43 @@
+#include "sim/log.h"
+
+#include <cstdio>
+
+namespace satin::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+void set_log_sink(LogSink sink) { g_sink = sink; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (g_sink != nullptr) {
+    g_sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace satin::sim

@@ -1,0 +1,56 @@
+// Minimal leveled trace log.
+//
+// Simulation components narrate world switches, scan starts, detections
+// and evasions through this; tests can capture the stream, and examples
+// raise the level for a readable play-by-play. Off (kWarn) by default so
+// benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace satin::sim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Sink hook (for tests); nullptr restores stderr.
+using LogSink = void (*)(LogLevel, const std::string&);
+void set_log_sink(LogSink sink);
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+}  // namespace satin::sim
+
+// Usage: SATIN_LOG(kInfo) << "core " << id << " enters secure world";
+// The stream expression is only evaluated when the level is enabled.
+#define SATIN_LOG(level)                                              \
+  if (!::satin::sim::log_enabled(::satin::sim::LogLevel::level)) {    \
+  } else                                                              \
+    ::satin::sim::detail::LogLine(::satin::sim::LogLevel::level)

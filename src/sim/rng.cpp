@@ -1,0 +1,38 @@
+#include "sim/rng.h"
+
+namespace satin::sim {
+
+namespace {
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+Rng Rng::fork(std::string_view name) {
+  const std::uint64_t mixed = fnv1a(name) ^ next_u64();
+  return Rng(mixed);
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo,
+                             double hi) {
+  for (int i = 0; i < 1024; ++i) {
+    const double x = normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  // Degenerate parameterization; clamp rather than loop forever.
+  return std::clamp(mean, lo, hi);
+}
+
+double Rng::triangular(double lo, double mode, double hi) {
+  const double u = uniform();
+  const double c = (mode - lo) / (hi - lo);
+  if (u < c) return lo + std::sqrt(u * (hi - lo) * (mode - lo));
+  return hi - std::sqrt((1.0 - u) * (hi - lo) * (hi - mode));
+}
+
+}  // namespace satin::sim

@@ -1,0 +1,85 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace satin::sim {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: bad p");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+BoxStats make_box_stats(std::vector<double> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("make_box_stats: empty sample");
+  }
+  std::sort(samples.begin(), samples.end());
+  BoxStats box;
+  box.q1 = percentile(samples, 25.0);
+  box.median = percentile(samples, 50.0);
+  box.q3 = percentile(samples, 75.0);
+  const double iqr = box.q3 - box.q1;
+  const double lo_fence = box.q1 - 1.5 * iqr;
+  const double hi_fence = box.q3 + 1.5 * iqr;
+  box.whisker_low = box.q3;  // fall back to a sane value if all outliers
+  box.whisker_high = box.q1;
+  bool any_in_fence = false;
+  for (double x : samples) {
+    if (x >= lo_fence && x <= hi_fence) {
+      if (!any_in_fence) {
+        box.whisker_low = x;
+        any_in_fence = true;
+      }
+      box.whisker_high = x;
+    } else {
+      box.outliers.push_back(x);
+    }
+  }
+  return box;
+}
+
+std::string sci_row(const std::string& label,
+                    const std::vector<double>& values) {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-24s", label.c_str());
+  out += buf;
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "  %12.3e", v);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace satin::sim

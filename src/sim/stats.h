@@ -1,0 +1,57 @@
+// Statistics helpers for the evaluation harnesses.
+//
+// The paper reports avg/max/min over 50 repetitions (Tables I, II), a
+// box-and-whisker plot (Fig. 4), and normalized degradation percentages
+// (Fig. 7). These helpers compute exactly those shapes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace satin::sim {
+
+// Streaming accumulator: count, mean (Welford), min, max, variance.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  // Sample variance / standard deviation (n-1 denominator).
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Linear-interpolation percentile of a sample set; p in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+// Box-plot statistics in the Tukey convention used by Fig. 4: whiskers at
+// the last sample within 1.5*IQR of the quartiles, the rest outliers.
+struct BoxStats {
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_low = 0.0;
+  double whisker_high = 0.0;
+  std::vector<double> outliers;
+};
+
+BoxStats make_box_stats(std::vector<double> samples);
+
+// Renders a fixed-width table row of scientific-notation values; used by
+// the bench binaries to print paper-style tables.
+std::string sci_row(const std::string& label, const std::vector<double>& values);
+
+}  // namespace satin::sim

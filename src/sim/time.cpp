@@ -1,0 +1,14 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace satin::sim {
+
+std::string Time::to_string() const {
+  char buf[64];
+  const double s = sec();
+  std::snprintf(buf, sizeof(buf), "%.3e s", s);
+  return buf;
+}
+
+}  // namespace satin::sim

@@ -1,0 +1,121 @@
+#include "attack/evader.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.h"
+
+namespace satin::attack {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+void schedule_stay(scenario::Scenario& s, hw::CoreId core, Time when,
+                   Duration stay) {
+  s.tsp().install_timer_service(
+      [&s, stay](std::shared_ptr<hw::SecureSession> ss) {
+        s.engine().schedule_after(stay, [ss] { ss->complete(); });
+      });
+  s.platform().timer().program_secure(core, when);
+}
+
+TEST(TzEvader, DeployInstallsRootkitAndProber) {
+  scenario::Scenario s;
+  TzEvader evader(s.os(), EvaderConfig{});
+  EXPECT_FALSE(evader.armed());
+  evader.deploy();
+  EXPECT_TRUE(evader.armed());
+  EXPECT_TRUE(evader.prober().deployed());
+  EXPECT_THROW(evader.deploy(), std::logic_error);
+}
+
+TEST(TzEvader, HidesOnDetectionAndReArmsAfterClear) {
+  scenario::Scenario s;
+  TzEvader evader(s.os(), EvaderConfig{});
+  evader.deploy();
+  schedule_stay(s, 0, Time::from_sec(1), Duration::from_ms(80));
+  // Mid-stay: evasion began.
+  s.run_until(Time::from_sec(1) + Duration::from_ms(40));
+  EXPECT_EQ(evader.evasions_started(), 1u);
+  // Long after: trace recovered and re-armed.
+  s.run_for(Duration::from_sec(1));
+  EXPECT_EQ(evader.rearms(), 1u);
+  EXPECT_TRUE(evader.armed());
+}
+
+TEST(TzEvader, TraceAbsentDuringLongIntrospection) {
+  scenario::Scenario s;
+  TzEvader evader(s.os(), EvaderConfig{});
+  evader.deploy();
+  const std::size_t off =
+      s.kernel().syscall_entry_offset(os::kGettidSyscallNr);
+  const auto benign = s.kernel().benign_syscall_entry(os::kGettidSyscallNr);
+  schedule_stay(s, 0, Time::from_sec(1), Duration::from_ms(80));
+  // 20 ms into the stay: detection (~2 ms) + recovery (~5-6 ms) are done;
+  // all bytes are benign while the "introspection" is still running.
+  s.run_until(Time::from_sec(1) + Duration::from_ms(20));
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(s.platform().memory().read(off + i),
+              benign[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(TzEvader, SurvivesBackToBackStays) {
+  scenario::Scenario s;
+  TzEvader evader(s.os(), EvaderConfig{});
+  evader.deploy();
+  s.tsp().install_timer_service(
+      [&s](std::shared_ptr<hw::SecureSession> ss) {
+        s.engine().schedule_after(Duration::from_ms(10),
+                                  [ss] { ss->complete(); });
+      });
+  for (int i = 0; i < 8; ++i) {
+    s.platform().timer().program_secure(i % 6,
+                                        s.now() + Duration::from_ms(100));
+    s.run_for(Duration::from_ms(500));
+  }
+  EXPECT_EQ(evader.evasions_started(), 8u);
+  EXPECT_EQ(evader.rearms(), 8u);
+  EXPECT_TRUE(evader.armed());
+}
+
+TEST(TzEvader, ObserverSeesDetections) {
+  scenario::Scenario s;
+  TzEvader evader(s.os(), EvaderConfig{});
+  int observed = 0;
+  evader.set_detect_observer(
+      [&](hw::CoreId core, Time, Duration) {
+        EXPECT_EQ(core, 3);
+        ++observed;
+      });
+  evader.deploy();
+  schedule_stay(s, 3, Time::from_sec(1), Duration::from_ms(30));
+  s.run_for(Duration::from_sec(2));
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(TzEvader, FixedCleanupCoreUsesItsSpeed) {
+  scenario::Scenario s;
+  EvaderConfig config;
+  config.cleanup_core = 5;  // A57
+  TzEvader evader(s.os(), config);
+  evader.deploy();
+  schedule_stay(s, 0, Time::from_sec(1), Duration::from_ms(50));
+  s.run_for(Duration::from_sec(2));
+  const double dur = evader.rootkit().last_recovery_duration().sec();
+  EXPECT_GE(dur, 4.50e-3);
+  EXPECT_LE(dur, 5.45e-3);  // A57 recovery spec
+}
+
+TEST(TzEvader, NoSecureActivityMeansNoEvasions) {
+  scenario::Scenario s;
+  TzEvader evader(s.os(), EvaderConfig{});
+  evader.deploy();
+  s.run_for(Duration::from_sec(10));
+  EXPECT_EQ(evader.evasions_started(), 0u);
+  EXPECT_TRUE(evader.armed());
+  EXPECT_EQ(evader.detections_observed(), 0u);
+}
+
+}  // namespace
+}  // namespace satin::attack

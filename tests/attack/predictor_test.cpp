@@ -1,0 +1,82 @@
+// Prediction-only evasion vs. periodic and randomized schedules.
+#include "attack/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/satin.h"
+#include "scenario/scenario.h"
+
+namespace satin::attack {
+namespace {
+
+using sim::Duration;
+
+core::Satin make_checker(scenario::Scenario& s, bool randomize) {
+  core::SatinConfig config;
+  config.multi_core = false;
+  config.fixed_core = 5;
+  config.randomize_wake = randomize;
+  config.tp_s = 1.0;
+  return core::Satin(s.platform(), s.kernel(), s.tsp(), config);
+}
+
+TEST(Predictor, DefeatsStrictlyPeriodicChecker) {
+  scenario::Scenario s;
+  core::Satin satin = make_checker(s, /*randomize=*/false);
+  satin.start();
+  PeriodicPredictionAttacker attacker(s.os(), PredictionConfig{});
+  attacker.deploy();
+  s.run_for(Duration::from_sec(60));
+  satin.stop();
+  EXPECT_GE(satin.rounds(), 55u);
+  EXPECT_EQ(satin.alarm_count(), 0u);
+  EXPECT_GE(attacker.hides(), 55u);
+  EXPECT_GE(attacker.rearms(), 54u);
+}
+
+TEST(Predictor, LosesAgainstRandomizedWakeups) {
+  scenario::Scenario s;
+  core::Satin satin = make_checker(s, /*randomize=*/true);
+  satin.start();
+  PeriodicPredictionAttacker attacker(s.os(), PredictionConfig{});
+  attacker.deploy();
+  // Long enough for several area-14 checks under random gaps.
+  s.run_for(Duration::from_sec(200));
+  satin.stop();
+  EXPECT_GE(satin.checker().check_count(14), 3u);
+  EXPECT_GT(satin.alarm_count(), 0u)
+      << "the memorized schedule must misfire against random deviation";
+}
+
+TEST(Predictor, WrongPhaseAlsoFailsEvenOnPeriodicChecker) {
+  // The attack needs the phase, not just the period: half a period off
+  // and every hide window misses the real wake.
+  scenario::Scenario s;
+  core::Satin satin = make_checker(s, /*randomize=*/false);
+  satin.start();
+  PredictionConfig config;
+  config.phase_s = 0.5;
+  PeriodicPredictionAttacker attacker(s.os(), config);
+  attacker.deploy();
+  s.run_for(Duration::from_sec(60));
+  satin.stop();
+  EXPECT_GT(satin.alarm_count(), 0u);
+}
+
+TEST(Predictor, Validation) {
+  scenario::Scenario s;
+  PredictionConfig bad;
+  bad.period_s = 0.0;
+  EXPECT_THROW(PeriodicPredictionAttacker(s.os(), bad),
+               std::invalid_argument);
+  PredictionConfig neg;
+  neg.hide_lead_s = -1.0;
+  EXPECT_THROW(PeriodicPredictionAttacker(s.os(), neg),
+               std::invalid_argument);
+  PeriodicPredictionAttacker ok(s.os(), PredictionConfig{});
+  ok.deploy();
+  EXPECT_THROW(ok.deploy(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace satin::attack

@@ -1,0 +1,183 @@
+// The probers against real secure-world activity on the full stack.
+#include "attack/prober.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.h"
+
+namespace satin::attack {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+// Holds `core` in the secure world for `stay` starting at `when`.
+void schedule_stay(scenario::Scenario& s, hw::CoreId core, Time when,
+                   Duration stay) {
+  s.tsp().install_timer_service(
+      [&s, stay](std::shared_ptr<hw::SecureSession> ss) {
+        s.engine().schedule_after(stay, [ss] { ss->complete(); });
+      });
+  s.platform().timer().program_secure(core, when);
+}
+
+TEST(KProber, RtProberDetectsSecureStayWithinTnsDelay) {
+  scenario::Scenario s;
+  KProber prober(s.os(), KProberConfig{});
+  std::vector<std::pair<hw::CoreId, Time>> detections;
+  prober.set_on_detect([&](hw::CoreId core, Time when, Duration) {
+    detections.emplace_back(core, when);
+  });
+  prober.deploy();
+  schedule_stay(s, 2, Time::from_sec(1), Duration::from_ms(80));
+  s.run_for(Duration::from_sec(2));
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].first, 2);
+  // Tns_delay ~ Tns_threshold (1.8e-3) +- wake phase and read delay,
+  // plus Tns_sched; never slower than threshold + 2 sleeps.
+  const double delay = (detections[0].second - Time::from_sec(1)).sec();
+  EXPECT_GT(delay, 1.4e-3);
+  EXPECT_LT(delay, 1.8e-3 + 2 * 2.0e-4 + 2.0e-4);
+}
+
+TEST(KProber, ClearsFlagAfterSecureExit) {
+  scenario::Scenario s;
+  KProber prober(s.os(), KProberConfig{});
+  std::vector<Time> clears;
+  prober.set_on_clear([&](hw::CoreId, Time when) { clears.push_back(when); });
+  prober.deploy();
+  schedule_stay(s, 1, Time::from_sec(1), Duration::from_ms(10));
+  s.run_for(Duration::from_sec(2));
+  ASSERT_EQ(clears.size(), 1u);
+  // Cleared shortly after the ~10 ms stay ended.
+  EXPECT_GT(clears[0].sec(), 1.010);
+  EXPECT_LT(clears[0].sec(), 1.015);
+  EXPECT_FALSE(prober.any_flagged());
+}
+
+TEST(KProber, QuietSystemHasNoFalsePositives) {
+  scenario::Scenario s;
+  KProber prober(s.os(), KProberConfig{});
+  int detections = 0;
+  prober.set_on_detect([&](hw::CoreId, Time, Duration) { ++detections; });
+  prober.deploy();
+  s.run_for(Duration::from_sec(20));
+  EXPECT_EQ(detections, 0);
+  EXPECT_GT(prober.rounds(), 100'000u);
+  // The largest benign staleness stays under the configured 1.8e-3.
+  EXPECT_LT(prober.max_benign_staleness_s(), 1.8e-3);
+  EXPECT_GT(prober.max_benign_staleness_s(), 5e-5);
+}
+
+TEST(KProber, DetectsEveryStayInASeries) {
+  scenario::Scenario s;
+  KProber prober(s.os(), KProberConfig{});
+  int detections = 0;
+  prober.set_on_detect([&](hw::CoreId, Time, Duration) { ++detections; });
+  prober.deploy();
+  s.tsp().install_timer_service(
+      [&s](std::shared_ptr<hw::SecureSession> ss) {
+        s.engine().schedule_after(Duration::from_ms(5),
+                                  [ss] { ss->complete(); });
+      });
+  for (int i = 0; i < 10; ++i) {
+    s.platform().timer().program_secure(i % 6, s.now() + Duration::from_ms(50));
+    s.run_for(Duration::from_ms(200));
+  }
+  EXPECT_EQ(detections, 10);
+}
+
+TEST(KProber, TimerInterruptModePlantsAndRestoresVectorTrace) {
+  scenario::Scenario s;
+  const std::size_t off = s.kernel().irq_vector_offset();
+  const auto benign = s.kernel().benign_irq_vector();
+  KProberConfig config;
+  config.mode = ProbeMode::kTimerInterrupt;
+  KProber prober(s.os(), config);
+  prober.deploy();
+  // The hijacked vector differs from the benign image — a detectable
+  // trace in area 0.
+  bool differs = false;
+  for (int b = 0; b < 8; ++b) {
+    if (s.platform().memory().read(off + static_cast<std::size_t>(b)) !=
+        benign[static_cast<std::size_t>(b)]) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+  prober.retract();
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(s.platform().memory().read(off + static_cast<std::size_t>(b)),
+              benign[static_cast<std::size_t>(b)]);
+  }
+}
+
+TEST(KProber, TimerInterruptModeDetectsViaTicks) {
+  scenario::Scenario s;
+  // KProber-I needs non-idle cores for HZ ticks (NO_HZ_IDLE).
+  spawn_keepalive_spinners(s.os());
+  KProberConfig config;
+  config.mode = ProbeMode::kTimerInterrupt;
+  // Tick staleness quantum is 1/HZ = 4 ms; use a threshold just above it.
+  config.threshold_s = 6e-3;
+  KProber prober(s.os(), config);
+  int detections = 0;
+  prober.set_on_detect([&](hw::CoreId core, Time, Duration) {
+    EXPECT_EQ(core, 3);
+    ++detections;
+  });
+  prober.deploy();
+  schedule_stay(s, 3, Time::from_sec(1), Duration::from_ms(80));
+  s.run_for(Duration::from_sec(2));
+  EXPECT_EQ(detections, 1);
+  EXPECT_GT(prober.rounds(), 1000u);
+}
+
+TEST(KProber, SingleCoreProbingWithObserver) {
+  scenario::Scenario s;
+  KProberConfig config;
+  config.probed_cores = {4};
+  config.observer_core = 0;
+  KProber prober(s.os(), config);
+  int detections = 0;
+  prober.set_on_detect([&](hw::CoreId core, Time, Duration) {
+    EXPECT_EQ(core, 4);
+    ++detections;
+  });
+  prober.deploy();
+  schedule_stay(s, 4, Time::from_sec(1), Duration::from_ms(50));
+  s.run_for(Duration::from_sec(2));
+  EXPECT_EQ(detections, 1);
+}
+
+TEST(KProber, DeployTwiceThrows) {
+  scenario::Scenario s;
+  KProber prober(s.os(), KProberConfig{});
+  prober.deploy();
+  EXPECT_THROW(prober.deploy(), std::logic_error);
+}
+
+TEST(KProber, UserLevelProberDetectsOnIdleSystem) {
+  // §III-B1: the stealthy user-level prober works without any kernel
+  // modification when the system is lightly loaded.
+  scenario::Scenario s;
+  KProberConfig config;
+  config.mode = ProbeMode::kUserLevel;
+  KProber prober(s.os(), config);
+  std::vector<Time> detections;
+  prober.set_on_detect(
+      [&](hw::CoreId, Time when, Duration) { detections.push_back(when); });
+  prober.deploy();
+  schedule_stay(s, 5, Time::from_sec(1), Duration::from_ms(80));
+  s.run_for(Duration::from_sec(2));
+  ASSERT_EQ(detections.size(), 1u);
+}
+
+TEST(KProber, ModeNames) {
+  EXPECT_STREQ(to_string(ProbeMode::kUserLevel), "user-level");
+  EXPECT_STREQ(to_string(ProbeMode::kRtScheduler), "KProber-II(rt)");
+  EXPECT_STREQ(to_string(ProbeMode::kTimerInterrupt), "KProber-I(timer)");
+}
+
+}  // namespace
+}  // namespace satin::attack

@@ -1,0 +1,159 @@
+#include "attack/rootkit.h"
+
+#include <gtest/gtest.h>
+
+#include "os/system_map.h"
+#include "scenario/scenario.h"
+
+namespace satin::attack {
+namespace {
+
+using sim::Duration;
+
+struct Fixture {
+  Fixture() : rootkit(s.os(), sim::Rng(42)) { rootkit.add_gettid_trace(); }
+  scenario::Scenario s;
+  Rootkit rootkit;
+};
+
+TEST(Rootkit, GettidTraceIsEightBytesInArea14Rodata) {
+  Fixture f;
+  ASSERT_EQ(f.rootkit.traces().size(), 1u);
+  const TraceSpec& t = f.rootkit.traces()[0];
+  EXPECT_EQ(t.benign.size(), 8u);
+  EXPECT_EQ(f.rootkit.trace_bytes(), 8u);
+  EXPECT_EQ(t.offset,
+            f.s.kernel().syscall_entry_offset(os::kGettidSyscallNr));
+  // Every malicious byte differs from the benign one (§IV-A2: detection
+  // hits on any of the 8 bytes).
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NE(t.benign[i], t.malicious[i]);
+  }
+}
+
+TEST(Rootkit, InstallWritesMaliciousBytes) {
+  Fixture f;
+  const std::size_t off = f.rootkit.traces()[0].offset;
+  f.rootkit.install();
+  EXPECT_TRUE(f.rootkit.installed());
+  EXPECT_EQ(f.rootkit.installs(), 1u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(f.s.platform().memory().read(off + i),
+              f.rootkit.traces()[0].malicious[i]);
+  }
+  // The rich OS now dispatches GETTID to the attacker's handler.
+  std::uint64_t benign_va = 0;
+  const auto benign = f.s.kernel().benign_syscall_entry(os::kGettidSyscallNr);
+  for (int b = 7; b >= 0; --b) {
+    benign_va = (benign_va << 8) | benign[static_cast<std::size_t>(b)];
+  }
+  EXPECT_NE(f.s.os().syscall_handler_address(os::kGettidSyscallNr),
+            benign_va);
+}
+
+TEST(Rootkit, RecoveryRestoresBenignBytesWithinSampledDuration) {
+  Fixture f;
+  f.rootkit.install();
+  bool done = false;
+  const sim::Time start = f.s.now();
+  f.rootkit.begin_recovery(hw::CoreType::kLittleA53, [&] { done = true; });
+  EXPECT_TRUE(f.rootkit.recovering());
+  f.s.run_for(Duration::from_ms(20));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(f.rootkit.installed());
+  EXPECT_FALSE(f.rootkit.recovering());
+  EXPECT_EQ(f.rootkit.recoveries(), 1u);
+  const std::size_t off = f.rootkit.traces()[0].offset;
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(f.s.platform().memory().read(off + i),
+              f.rootkit.traces()[0].benign[i]);
+  }
+  // §IV-B2: A53 recovery duration 5.20e-3 .. 6.13e-3 s.
+  const double dur = f.rootkit.last_recovery_duration().sec();
+  EXPECT_GE(dur, 5.20e-3);
+  EXPECT_LE(dur, 6.13e-3);
+  (void)start;
+}
+
+TEST(Rootkit, A57RecoversFasterOnAverage) {
+  Fixture f;
+  double a53 = 0.0, a57 = 0.0;
+  const int reps = 40;
+  for (int i = 0; i < reps; ++i) {
+    f.rootkit.install();
+    f.rootkit.begin_recovery(hw::CoreType::kLittleA53, [] {});
+    f.s.run_for(Duration::from_ms(10));
+    a53 += f.rootkit.last_recovery_duration().sec();
+    f.rootkit.install();
+    f.rootkit.begin_recovery(hw::CoreType::kBigA57, [] {});
+    f.s.run_for(Duration::from_ms(10));
+    a57 += f.rootkit.last_recovery_duration().sec();
+  }
+  EXPECT_NEAR(a53 / reps, 5.80e-3, 0.2e-3);
+  EXPECT_NEAR(a57 / reps, 4.96e-3, 0.2e-3);
+}
+
+TEST(Rootkit, BytesAreRestoredSequentiallyNotAtomically) {
+  Fixture f;
+  f.rootkit.install();
+  const std::size_t off = f.rootkit.traces()[0].offset;
+  f.rootkit.begin_recovery(hw::CoreType::kLittleA53, [] {});
+  // Halfway through the recovery, early bytes are benign, late ones not.
+  f.s.run_for(Duration::from_ms(3));
+  const bool first_restored =
+      f.s.platform().memory().read(off) == f.rootkit.traces()[0].benign[0];
+  const bool last_restored =
+      f.s.platform().memory().read(off + 7) ==
+      f.rootkit.traces()[0].benign[7];
+  EXPECT_TRUE(first_restored);
+  EXPECT_FALSE(last_restored);
+  f.s.run_for(Duration::from_ms(10));
+}
+
+TEST(Rootkit, MultipleTracesRecoverTogether) {
+  Fixture f;
+  TraceSpec vec;
+  vec.name = "irq-vector";
+  vec.offset = f.s.kernel().irq_vector_offset();
+  const auto benign = f.s.kernel().benign_irq_vector();
+  vec.benign.assign(benign.begin(), benign.end());
+  vec.malicious = vec.benign;
+  for (auto& b : vec.malicious) b ^= 0xA5;
+  f.rootkit.add_trace(vec);
+  EXPECT_EQ(f.rootkit.trace_bytes(), 16u);
+  f.rootkit.install();
+  f.rootkit.begin_recovery(hw::CoreType::kBigA57, [] {});
+  f.s.run_for(Duration::from_ms(10));
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(f.s.platform().memory().read(vec.offset + i), vec.benign[i]);
+  }
+}
+
+TEST(Rootkit, StateMachineGuards) {
+  Fixture f;
+  EXPECT_THROW(f.rootkit.begin_recovery(hw::CoreType::kLittleA53, [] {}),
+               std::logic_error);  // nothing installed
+  f.rootkit.install();
+  f.rootkit.begin_recovery(hw::CoreType::kLittleA53, [] {});
+  EXPECT_THROW(f.rootkit.begin_recovery(hw::CoreType::kLittleA53, [] {}),
+               std::logic_error);  // already recovering
+  EXPECT_THROW(f.rootkit.install(), std::logic_error);  // mid-recovery
+  EXPECT_THROW(f.rootkit.add_trace(TraceSpec{"x", 0, {1}, {2}}),
+               std::logic_error);  // attack in progress
+  f.s.run_for(Duration::from_ms(10));
+  f.rootkit.install();  // re-install after recovery is fine
+  EXPECT_EQ(f.rootkit.installs(), 2u);
+}
+
+TEST(Rootkit, TraceValidation) {
+  scenario::Scenario s;
+  Rootkit kit(s.os(), sim::Rng(1));
+  EXPECT_THROW(kit.install(), std::logic_error);  // no traces
+  EXPECT_THROW(kit.add_trace(TraceSpec{"bad", 0, {1, 2}, {3}}),
+               std::invalid_argument);
+  EXPECT_THROW(kit.add_trace(TraceSpec{"empty", 0, {}, {}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace satin::attack

@@ -1,0 +1,131 @@
+// §VII-B: learning Tns_threshold on the victim device.
+#include "attack/threshold_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/satin.h"
+#include "scenario/scenario.h"
+
+namespace satin::attack {
+namespace {
+
+using sim::Duration;
+
+TEST(RampFilter, BenignSawtoothIsKeptWhole) {
+  RampFilter filter(1);
+  // Staleness ages by ~40 us per probe and resets each report — a benign
+  // sawtooth whose PEAK must survive into max_benign.
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int k = 0; k < 5; ++k) {
+      filter.add(0, 1.0e-4 + 4.0e-5 * k);
+    }
+  }
+  filter.finish();
+  EXPECT_EQ(filter.excluded(), 0u);
+  EXPECT_DOUBLE_EQ(filter.max_benign_s(), 1.0e-4 + 4.0e-5 * 4);
+}
+
+TEST(RampFilter, StallRampIsExcludedPastItsHead) {
+  RampFilter filter(1);
+  filter.add(0, 1.2e-4);
+  // A frozen core: staleness climbs 2e-4 per probe up to 3 ms.
+  for (int k = 1; k <= 15; ++k) filter.add(0, 1.2e-4 + 2.0e-4 * k);
+  filter.add(0, 1.3e-4);  // the core reported again
+  filter.finish();
+  EXPECT_GT(filter.excluded(), 10u);
+  EXPECT_DOUBLE_EQ(filter.max_observed_s(), 1.2e-4 + 3.0e-3);
+  EXPECT_LE(filter.max_benign_s(), 2.0e-4);
+}
+
+TEST(RampFilter, IsolatedSpikeIsBenign) {
+  RampFilter filter(1);
+  filter.add(0, 1.0e-4);
+  filter.add(0, 1.5e-3);  // visibility spike — instant, no ramp follows
+  filter.add(0, 1.1e-4);
+  filter.finish();
+  EXPECT_EQ(filter.excluded(), 0u);
+  EXPECT_DOUBLE_EQ(filter.max_benign_s(), 1.5e-3);
+}
+
+TEST(RampFilter, TracksCoresIndependently) {
+  RampFilter filter(2);
+  // Core 0 stalls, core 1 stays benign; interleaved.
+  for (int k = 0; k <= 15; ++k) {
+    filter.add(0, 1.0e-4 + 2.0e-4 * k);
+    filter.add(1, 1.0e-4 + (k % 2 == 0 ? 0.0 : 3.0e-5));
+  }
+  filter.finish();
+  EXPECT_GT(filter.excluded(), 10u);
+  EXPECT_LE(filter.max_benign_s(), 1.4e-4);
+}
+
+TEST(RampFilter, Validation) {
+  EXPECT_THROW(RampFilter(0), std::invalid_argument);
+  EXPECT_THROW(RampFilter(2, 0.0), std::invalid_argument);
+}
+
+TEST(ThresholdLearner, QuietVictimLearnsBenignCeiling) {
+  scenario::Scenario s;
+  ThresholdLearner learner(s.os());
+  const auto learned = learner.learn(Duration::from_sec(8));
+  EXPECT_GT(learned.samples, 100'000u);
+  EXPECT_EQ(learned.excluded, 0u);
+  EXPECT_GT(learned.recommended_s, 1e-4);
+  // Never exceeds the benign ceiling the paper's evader uses.
+  EXPECT_LE(learned.max_benign_s, 1.8e-3);
+  EXPECT_LE(learned.recommended_s, 1.9e-3);
+}
+
+TEST(ThresholdLearner, ExcludesRealIntrospectionStalls) {
+  // Learning while SATIN is live: the secure stalls (>= 2.9 ms area
+  // scans) must be recognized as ramps and excluded, not absorbed into
+  // the threshold.
+  scenario::Scenario s;
+  core::SatinConfig config;
+  config.tp_s = 0.5;  // frequent rounds during the learning window
+  core::Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+  satin.start();
+  ThresholdLearner learner(s.os());
+  const auto learned = learner.learn(Duration::from_sec(10));
+  EXPECT_GT(learned.excluded, 50u);
+  EXPECT_GT(learned.max_observed_s, 2.5e-3);  // saw the stalls...
+  EXPECT_LE(learned.max_benign_s, 1.9e-3);    // ...but did not learn them
+}
+
+TEST(ThresholdLearner, LearnedThresholdDrivesAWorkingProber) {
+  // End-to-end §VII-B: learn on the victim, then deploy KProber with the
+  // learned threshold and detect real secure stays.
+  scenario::Scenario s;
+  ThresholdLearner learner(s.os());
+  const auto learned = learner.learn(Duration::from_sec(5));
+
+  KProberConfig config;
+  config.threshold_s = learned.recommended_s;
+  KProber prober(s.os(), config);
+  int detections = 0;
+  prober.set_on_detect(
+      [&](hw::CoreId, sim::Time, sim::Duration) { ++detections; });
+  prober.deploy();
+  s.tsp().install_timer_service([&s](std::shared_ptr<hw::SecureSession> ss) {
+    s.engine().schedule_after(Duration::from_ms(5), [ss] { ss->complete(); });
+  });
+  for (int i = 0; i < 5; ++i) {
+    s.platform().timer().program_secure(i % 6,
+                                        s.now() + Duration::from_ms(100));
+    s.run_for(Duration::from_ms(500));
+  }
+  // Every stay noticed; a short learning window can leave the threshold
+  // below the long-run benign ceiling, so the occasional extra (false)
+  // flag is tolerated — that is the §VII-B trade-off.
+  EXPECT_GE(detections, 5);
+  EXPECT_LE(detections, 8);
+}
+
+TEST(ThresholdLearner, RejectsNonPositiveDuration) {
+  scenario::Scenario s;
+  ThresholdLearner learner(s.os());
+  EXPECT_THROW(learner.learn(Duration::zero()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace satin::attack

@@ -1,0 +1,110 @@
+// The analytic probing-threshold model against Table II.
+#include "attack/threshold_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace satin::attack {
+namespace {
+
+struct PeriodRow {
+  double period_s;
+  double paper_avg;
+  double paper_max;
+  double paper_min;
+};
+
+// Table II, "Probing Threshold on Multi-Core".
+const PeriodRow kTable2[] = {
+    {8.0, 2.61e-4, 7.76e-4, 1.07e-4},
+    {16.0, 3.54e-4, 1.38e-3, 1.31e-4},
+    {30.0, 4.21e-4, 8.99e-4, 2.59e-4},
+    {120.0, 5.26e-4, 9.49e-4, 3.18e-4},
+    {300.0, 6.61e-4, 1.77e-3, 4.18e-4},
+};
+
+class Table2Row : public ::testing::TestWithParam<PeriodRow> {};
+
+TEST_P(Table2Row, FiftyWindowStatisticsNearPaper) {
+  const PeriodRow row = GetParam();
+  // Average over several 50-window "papers" to damp the sampling noise of
+  // a single 50-round experiment; the single-experiment spread is checked
+  // separately below.
+  ThresholdSampler sampler(hw::CrossCoreDelayModel{}, sim::Rng(1234), 6);
+  sim::Accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    acc.add(sampler.sample_window_max_seconds(row.period_s));
+  }
+  // Long-run average within 35% of the paper's 50-round average.
+  EXPECT_NEAR(acc.mean(), row.paper_avg, 0.35 * row.paper_avg);
+  // Bounds: window maxima live between the paper's min and max columns
+  // (with slack — those columns are 50-round extremes of a noisy tail).
+  EXPECT_GE(acc.min(), 0.4 * row.paper_min);
+  EXPECT_LE(acc.max(), 1.77e-3 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, Table2Row, ::testing::ValuesIn(kTable2),
+    [](const auto& info) {
+      return "period_" + std::to_string(static_cast<int>(info.param.period_s));
+    });
+
+TEST(ThresholdSampler, AverageThresholdGrowsWithProbingPeriod) {
+  // Table II's headline trend: "the average threshold becomes larger
+  // along with a longer probing period".
+  ThresholdSampler sampler(hw::CrossCoreDelayModel{}, sim::Rng(7), 6);
+  double prev = 0.0;
+  for (double period : {8.0, 16.0, 30.0, 120.0, 300.0}) {
+    sim::Accumulator acc;
+    for (int i = 0; i < 600; ++i) {
+      acc.add(sampler.sample_window_max_seconds(period));
+    }
+    EXPECT_GT(acc.mean(), prev) << "period " << period;
+    prev = acc.mean();
+  }
+}
+
+TEST(ThresholdSampler, NeverExceedsEvaderThreshold) {
+  // §VI-B1 sets the evader's threshold at 1.8e-3 s because benign maxima
+  // never exceed 1.77e-3 s.
+  ThresholdSampler sampler(hw::CrossCoreDelayModel{}, sim::Rng(8), 6);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LE(sampler.sample_window_max_seconds(300.0), 1.8e-3);
+  }
+}
+
+TEST(ThresholdSampler, SingleCoreProbingRoughlyQuartersThresholds) {
+  // §IV-B2: "the average thresholds to probe the single core only equal
+  // to ~1/4 of the presented threshold for probing all cores, for all
+  // five probing periods".
+  for (double period : {8.0, 16.0, 30.0, 120.0, 300.0}) {
+    ThresholdSampler all(hw::CrossCoreDelayModel{}, sim::Rng(9), 6);
+    ThresholdSampler one(hw::CrossCoreDelayModel{}, sim::Rng(9), 1);
+    sim::Accumulator acc_all, acc_one;
+    for (int i = 0; i < 500; ++i) {
+      acc_all.add(all.sample_window_max_seconds(period));
+      acc_one.add(one.sample_window_max_seconds(period));
+    }
+    EXPECT_NEAR(acc_one.mean() / acc_all.mean(), 0.25, 0.06)
+        << "period " << period;
+  }
+}
+
+TEST(ThresholdSampler, Fig4OutliersOnlyForLongPeriods) {
+  // Fig. 4: "only few extreme large outliers are introduced for probing
+  // period 300 s, which go over 1e-3 s."
+  ThresholdSampler sampler(hw::CrossCoreDelayModel{}, sim::Rng(10), 6);
+  int over_1ms_short = 0;
+  int over_1ms_long = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (sampler.sample_window_max_seconds(8.0) > 1e-3) ++over_1ms_short;
+    if (sampler.sample_window_max_seconds(300.0) > 1e-3) ++over_1ms_long;
+  }
+  EXPECT_LE(over_1ms_short, 5);
+  EXPECT_GT(over_1ms_long, over_1ms_short);
+  EXPECT_LT(over_1ms_long, 100);  // still "few"
+}
+
+}  // namespace
+}  // namespace satin::attack

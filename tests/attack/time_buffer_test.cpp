@@ -1,0 +1,102 @@
+#include "attack/time_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace satin::attack {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+hw::CrossCoreDelayModel model() { return hw::CrossCoreDelayModel{}; }
+
+TEST(SharedTimeBuffer, ReportAndReadBack) {
+  const auto m = model();
+  SharedTimeBuffer buf(6, m, sim::Rng(1), 30'000.0, 6);
+  EXPECT_FALSE(buf.ever_reported(3));
+  buf.report(3, Time::from_ms(5));
+  EXPECT_TRUE(buf.ever_reported(3));
+  EXPECT_EQ(buf.last_report(3), Time::from_ms(5));
+  EXPECT_EQ(buf.reports(), 1u);
+}
+
+TEST(SharedTimeBuffer, StalenessGrowsForFrozenReporter) {
+  const auto m = model();
+  SharedTimeBuffer buf(6, m, sim::Rng(2), 30'000.0, 6);
+  buf.report(0, Time::from_ms(10));
+  const double near = buf.observed_staleness(0, Time::from_ms(10)).sec();
+  const double far =
+      buf.observed_staleness(0, Time::from_ms(10) + Duration::from_ms(5))
+          .sec();
+  EXPECT_GT(far, near + 4.5e-3);
+}
+
+TEST(SharedTimeBuffer, FreshReportStalenessIsSmall) {
+  const auto m = model();
+  SharedTimeBuffer buf(6, m, sim::Rng(3), 30'000.0, 6);
+  // Read delay alone (no age): bounded by the benign ceiling.
+  for (int i = 0; i < 20'000; ++i) {
+    buf.report(1, Time::from_ms(1));
+    const double s = buf.observed_staleness(1, Time::from_ms(1)).sec();
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, m.event_spike_cap_s + m.base_max_s);
+  }
+}
+
+TEST(SharedTimeBuffer, SpikesOccurAtConvertedRate) {
+  const auto m = model();
+  // 30 kHz read rate, spike rate 0.16/s -> p ~ 5.3e-6 per read.
+  SharedTimeBuffer buf(6, m, sim::Rng(4), 30'000.0, 6);
+  buf.report(0, Time::zero());
+  const int reads = 4'000'000;
+  for (int i = 0; i < reads; ++i) {
+    (void)buf.observed_staleness(0, Time::zero());
+  }
+  const double expected = m.spike_rate_per_s / 30'000.0 * reads;  // ~21
+  EXPECT_GT(buf.spiked_reads(), expected * 0.4);
+  EXPECT_LT(buf.spiked_reads(), expected * 2.2);
+}
+
+TEST(SharedTimeBuffer, BenignStalenessNeverExceedsEvaderThreshold) {
+  // The paper configures the evader at 1.8e-3 s and observes zero false
+  // positives; the model must respect that by construction.
+  const auto m = model();
+  SharedTimeBuffer buf(6, m, sim::Rng(5), 100.0, 6);  // high spike prob
+  sim::Accumulator acc;
+  for (int i = 0; i < 200'000; ++i) {
+    buf.report(2, Time::from_ms(100));
+    // Benign wake phase is at most Tsleep (2e-4 s) plus small jitter.
+    const Time read_at = Time::from_ms(100) + Duration::from_us(200);
+    acc.add(buf.observed_staleness(2, read_at).sec());
+  }
+  EXPECT_GT(buf.spiked_reads(), 150u);  // ~320 expected at p = 1.6e-3
+  EXPECT_LE(acc.max(), 1.8e-3);
+}
+
+TEST(SharedTimeBuffer, SingleCoreProbingScalesDelaysDown) {
+  const auto m = model();
+  SharedTimeBuffer all(6, m, sim::Rng(6), 30'000.0, 6);
+  SharedTimeBuffer one(6, m, sim::Rng(6), 30'000.0, 1);
+  sim::Accumulator acc_all, acc_one;
+  for (int i = 0; i < 20'000; ++i) {
+    all.report(0, Time::zero());
+    one.report(0, Time::zero());
+    acc_all.add(all.observed_staleness(0, Time::zero()).sec());
+    acc_one.add(one.observed_staleness(0, Time::zero()).sec());
+  }
+  // §IV-B2: single-core probing thresholds ~1/4 of all-core.
+  EXPECT_NEAR(acc_one.mean() / acc_all.mean(), 0.25, 0.05);
+}
+
+TEST(SharedTimeBuffer, Validation) {
+  const auto m = model();
+  EXPECT_THROW(SharedTimeBuffer(0, m, sim::Rng(1), 1000.0, 6),
+               std::invalid_argument);
+  EXPECT_THROW(SharedTimeBuffer(6, m, sim::Rng(1), 0.0, 6),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace satin::attack

@@ -1,0 +1,79 @@
+#include "core/area_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace satin::core {
+namespace {
+
+sim::Rng rng() { return sim::Rng(99); }
+
+TEST(KernelAreaSet, EachCycleCoversEveryAreaOnce) {
+  KernelAreaSet set(19, rng());
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    std::set<int> seen;
+    for (int i = 0; i < 19; ++i) seen.insert(set.take_next());
+    EXPECT_EQ(seen.size(), 19u) << "cycle " << cycle;
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 18);
+  }
+}
+
+TEST(KernelAreaSet, RemainingShrinksAndRefills) {
+  KernelAreaSet set(4, rng());
+  EXPECT_EQ(set.remaining(), 4u);
+  set.take_next();
+  set.take_next();
+  EXPECT_EQ(set.remaining(), 2u);
+  set.take_next();
+  set.take_next();
+  EXPECT_EQ(set.remaining(), 0u);
+  EXPECT_EQ(set.cycles_completed(), 0u);
+  set.take_next();  // triggers refill
+  EXPECT_EQ(set.remaining(), 3u);
+  EXPECT_EQ(set.cycles_completed(), 1u);
+}
+
+TEST(KernelAreaSet, RandomOrderVariesAcrossCycles) {
+  KernelAreaSet set(19, rng());
+  std::vector<int> first, second;
+  for (int i = 0; i < 19; ++i) first.push_back(set.take_next());
+  for (int i = 0; i < 19; ++i) second.push_back(set.take_next());
+  EXPECT_NE(first, second);
+}
+
+TEST(KernelAreaSet, OrderedModeIsAscending) {
+  KernelAreaSet set(6, rng());
+  set.set_randomized(false);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(set.take_next(), i);
+  }
+}
+
+TEST(KernelAreaSet, SingleAreaAlwaysZero) {
+  KernelAreaSet set(1, rng());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(set.take_next(), 0);
+  EXPECT_EQ(set.cycles_completed(), 9u);
+}
+
+TEST(KernelAreaSet, RejectsEmpty) {
+  EXPECT_THROW(KernelAreaSet(0, rng()), std::invalid_argument);
+}
+
+TEST(KernelAreaSet, SelectionIsUnpredictablyUniform) {
+  // Over many cycles every area appears in the first slot roughly equally
+  // often — no recognizable pattern for the normal world to learn.
+  KernelAreaSet set(8, rng());
+  std::map<int, int> first_slot;
+  for (int cycle = 0; cycle < 4000; ++cycle) {
+    ++first_slot[set.take_next()];
+    for (int i = 1; i < 8; ++i) set.take_next();
+  }
+  for (const auto& [area, count] : first_slot) {
+    EXPECT_NEAR(count, 500, 110) << "area " << area;
+  }
+}
+
+}  // namespace
+}  // namespace satin::core

@@ -1,0 +1,120 @@
+#include "core/areas.h"
+
+#include <gtest/gtest.h>
+
+#include "core/race_model.h"
+
+namespace satin::core {
+namespace {
+
+constexpr std::size_t kPaperBound = 1'218'351;
+
+TEST(PartitionByRegions, ReproducesPaperAreaLayout) {
+  const auto map = os::make_default_map();
+  const auto areas = partition_by_regions(map, kPaperBound);
+  ASSERT_EQ(areas.size(), 19u);
+  EXPECT_EQ(largest_area(areas), 876'616u);
+  EXPECT_EQ(smallest_area(areas), 431'360u);
+  EXPECT_EQ(total_area_bytes(areas), 11'916'240u);
+}
+
+TEST(PartitionByRegions, AreasAreContiguousAndOrdered) {
+  const auto map = os::make_default_map();
+  const auto areas = partition_by_regions(map, kPaperBound);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    EXPECT_EQ(areas[i].index, static_cast<int>(i));
+    EXPECT_EQ(areas[i].offset, cursor);
+    cursor = areas[i].end();
+  }
+  EXPECT_EQ(cursor, map.total_size());
+}
+
+TEST(PartitionByRegions, EnforcesRaceBound) {
+  const auto map = os::make_default_map();
+  // A cap below the largest region must be rejected loudly, not silently
+  // produce an unscannable area.
+  EXPECT_THROW(partition_by_regions(map, 800'000), std::invalid_argument);
+}
+
+TEST(PartitionByRegions, CapFromCalibratedRaceModelAccepted) {
+  const auto map = os::make_default_map();
+  const std::size_t cap =
+      max_safe_area_bytes(worst_case_params(hw::TimingParams{}));
+  EXPECT_EQ(cap, kPaperBound);
+  EXPECT_NO_THROW(partition_by_regions(map, cap));
+}
+
+class PartitionEvenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionEvenProperty, CoversKernelContiguouslyUnderCap) {
+  const auto map = os::make_default_map();
+  const int target = GetParam();
+  const auto areas = partition_even(map, kPaperBound, target);
+  // Full coverage, contiguity, cap compliance.
+  std::size_t cursor = 0;
+  for (const Area& a : areas) {
+    EXPECT_EQ(a.offset, cursor);
+    EXPECT_LE(a.size, kPaperBound);
+    EXPECT_GT(a.size, 0u);
+    cursor = a.end();
+  }
+  EXPECT_EQ(cursor, map.total_size());
+  // The area count lands near the target (section boundaries permitting,
+  // and never below what the cap forces).
+  const int min_forced =
+      static_cast<int>(map.total_size() / kPaperBound);
+  EXPECT_GE(static_cast<int>(areas.size()), std::max(1, min_forced));
+  if (target >= 12) {
+    EXPECT_NEAR(static_cast<double>(areas.size()), target, target * 0.35);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetSweep, PartitionEvenProperty,
+                         ::testing::Values(10, 12, 16, 19, 24, 32, 48));
+
+TEST(PartitionEven, AreasAlignToSectionBoundaries) {
+  const auto map = os::make_default_map();
+  const auto areas = partition_even(map, kPaperBound, 19);
+  for (const Area& a : areas) {
+    bool found = false;
+    for (const auto& s : map.sections()) {
+      if (s.offset == a.offset) found = true;
+    }
+    EXPECT_TRUE(found) << "area at " << a.offset
+                       << " does not start a section";
+  }
+}
+
+TEST(PartitionEven, RejectsNonPositiveTarget) {
+  const auto map = os::make_default_map();
+  EXPECT_THROW(partition_even(map, kPaperBound, 0), std::invalid_argument);
+}
+
+TEST(SingleArea, CoversWholeKernel) {
+  const auto map = os::make_default_map();
+  const auto areas = single_area(map);
+  ASSERT_EQ(areas.size(), 1u);
+  EXPECT_EQ(areas[0].offset, 0u);
+  EXPECT_EQ(areas[0].size, map.total_size());
+}
+
+TEST(AreaContaining, FindsAndRejects) {
+  const auto map = os::make_default_map();
+  const auto areas = partition_by_regions(map, kPaperBound);
+  const auto table = map.find_symbol("sys_call_table");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(area_containing(areas, table->offset), 14);
+  EXPECT_EQ(area_containing(areas, 0), 0);
+  EXPECT_EQ(area_containing(areas, map.total_size() - 1), 18);
+  EXPECT_EQ(area_containing(areas, map.total_size()), -1);
+}
+
+TEST(AreaHelpers, EmptyVectors) {
+  EXPECT_EQ(largest_area({}), 0u);
+  EXPECT_EQ(smallest_area({}), 0u);
+  EXPECT_EQ(total_area_bytes({}), 0u);
+}
+
+}  // namespace
+}  // namespace satin::core

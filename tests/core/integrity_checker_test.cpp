@@ -1,0 +1,132 @@
+#include "core/integrity_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "os/system_map.h"
+
+namespace satin::core {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : image(os::make_default_map()),
+        areas(partition_by_regions(image.map(), 1'218'351)),
+        checker(platform, image, areas) {
+    image.install(platform.memory());
+  }
+  hw::Platform platform;
+  os::KernelImage image;
+  std::vector<Area> areas;
+  IntegrityChecker checker;
+};
+
+TEST(IntegrityChecker, RequiresAuthorizationBeforeChecking) {
+  Fixture f;
+  EXPECT_FALSE(f.checker.authorized());
+  EXPECT_THROW(f.checker.check_area_async(0, 0, [](const CheckOutcome&) {}),
+               std::logic_error);
+  f.checker.authorize_boot_state();
+  EXPECT_TRUE(f.checker.authorized());
+  EXPECT_THROW(f.checker.authorize_boot_state(), std::logic_error);
+}
+
+TEST(IntegrityChecker, CleanAreaPasses) {
+  Fixture f;
+  f.checker.authorize_boot_state();
+  bool done = false;
+  f.checker.check_area_async(5, 14, [&](const CheckOutcome& outcome) {
+    done = true;
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.area, 14);
+    EXPECT_EQ(outcome.core, 5);
+  });
+  f.platform.engine().run_until(sim::Time::from_sec(1));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.checker.checks_completed(), 1u);
+  EXPECT_EQ(f.checker.check_count(14), 1u);
+  EXPECT_TRUE(f.checker.alarms().empty());
+}
+
+TEST(IntegrityChecker, CorruptedByteRaisesAlarm) {
+  Fixture f;
+  f.checker.authorize_boot_state();
+  // Hijack the GETTID entry (area 14).
+  const std::size_t off =
+      f.image.syscall_entry_offset(os::kGettidSyscallNr);
+  std::vector<std::uint8_t> evil(8, 0xEE);
+  f.platform.memory().write(f.platform.engine().now(), off, evil);
+  bool ok = true;
+  f.checker.check_area_async(4, 14,
+                             [&](const CheckOutcome& o) { ok = o.ok; });
+  f.platform.engine().run_until(sim::Time::from_sec(1));
+  EXPECT_FALSE(ok);
+  ASSERT_EQ(f.checker.alarms().size(), 1u);
+  EXPECT_EQ(f.checker.alarms()[0].area, 14);
+  EXPECT_EQ(f.checker.alarms()[0].core, 4);
+}
+
+TEST(IntegrityChecker, CorruptionInOtherAreaNotSeenByThisScan) {
+  Fixture f;
+  f.checker.authorize_boot_state();
+  const std::size_t off =
+      f.image.syscall_entry_offset(os::kGettidSyscallNr);  // area 14
+  std::vector<std::uint8_t> evil(8, 0xEE);
+  f.platform.memory().write(f.platform.engine().now(), off, evil);
+  bool ok = false;
+  f.checker.check_area_async(4, 3, [&](const CheckOutcome& o) { ok = o.ok; });
+  f.platform.engine().run_until(sim::Time::from_sec(1));
+  EXPECT_TRUE(ok) << "area 3 does not contain the hijack";
+}
+
+TEST(IntegrityChecker, EvenSingleFlippedBitDetected) {
+  Fixture f;
+  f.checker.authorize_boot_state();
+  const Area& area = f.areas[7];
+  const std::size_t off = area.offset + area.size / 2;
+  std::vector<std::uint8_t> flip{static_cast<std::uint8_t>(
+      f.platform.memory().read(off) ^ 0x01)};
+  f.platform.memory().write(f.platform.engine().now(), off, flip);
+  bool ok = true;
+  f.checker.check_area_async(0, 7, [&](const CheckOutcome& o) { ok = o.ok; });
+  f.platform.engine().run_until(sim::Time::from_sec(1));
+  EXPECT_FALSE(ok);
+}
+
+TEST(IntegrityChecker, PerAreaCountsAccumulate) {
+  Fixture f;
+  f.checker.authorize_boot_state();
+  for (int i = 0; i < 3; ++i) {
+    f.checker.check_area_async(5, 2, [](const CheckOutcome&) {});
+    f.platform.engine().run_until(f.platform.engine().now() +
+                                  sim::Duration::from_sec(1));
+  }
+  EXPECT_EQ(f.checker.check_count(2), 3u);
+  EXPECT_EQ(f.checker.check_count(3), 0u);
+  EXPECT_EQ(f.checker.checks_completed(), 3u);
+}
+
+TEST(IntegrityChecker, RejectsEmptyAreas) {
+  hw::Platform platform;
+  os::KernelImage image(os::make_default_map());
+  EXPECT_THROW(IntegrityChecker(platform, image, {}), std::invalid_argument);
+}
+
+TEST(IntegrityChecker, AlternativeHashAlsoDetects) {
+  hw::Platform platform;
+  os::KernelImage image(os::make_default_map());
+  image.install(platform.memory());
+  auto areas = partition_by_regions(image.map(), 1'218'351);
+  IntegrityChecker checker(platform, image, areas, secure::HashKind::kFnv1a,
+                           secure::ScanStrategy::kSnapshotThenHash);
+  checker.authorize_boot_state();
+  const std::size_t off = image.syscall_entry_offset(os::kGettidSyscallNr);
+  std::vector<std::uint8_t> evil(8, 0xEE);
+  platform.memory().write(platform.engine().now(), off, evil);
+  bool ok = true;
+  checker.check_area_async(5, 14, [&](const CheckOutcome& o) { ok = o.ok; });
+  platform.engine().run_until(sim::Time::from_sec(1));
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace satin::core

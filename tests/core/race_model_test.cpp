@@ -1,0 +1,102 @@
+// Eq. 1 / Eq. 2 closed forms against the paper's §IV-C arithmetic.
+#include "core/race_model.h"
+
+#include <gtest/gtest.h>
+
+namespace satin::core {
+namespace {
+
+RaceParams paper_worst_case() { return worst_case_params(hw::TimingParams{}); }
+
+TEST(RaceModel, WorstCaseUsesPaperConstants) {
+  const RaceParams p = paper_worst_case();
+  EXPECT_DOUBLE_EQ(p.ts_switch_s, 3.60e-6);
+  EXPECT_DOUBLE_EQ(p.ts_1byte_s, 6.67e-9);
+  EXPECT_DOUBLE_EQ(p.tns_sched_s, 2.0e-4);
+  EXPECT_DOUBLE_EQ(p.tns_threshold_s, 1.8e-3);
+  EXPECT_DOUBLE_EQ(p.tns_recover_s, 6.13e-3);
+  EXPECT_DOUBLE_EQ(p.tns_delay_s(), 2.0e-3);
+}
+
+TEST(RaceModel, MaxSafeAreaMatchesPaper) {
+  // §IV-C: "we have S <= 1218351 bytes".
+  EXPECT_EQ(max_safe_area_bytes(paper_worst_case()), 1'218'351u);
+}
+
+TEST(RaceModel, UnprotectedFractionIsNinetyPercent) {
+  // §IV-C: "nearly 1 - 1218351/11916240 ~ 90% of the kernel space is not
+  // protected".
+  const double f = unprotected_fraction(paper_worst_case(), 11'916'240);
+  EXPECT_NEAR(f, 0.8978, 0.0005);
+}
+
+TEST(RaceModel, EscapeConditionConsistentWithBound) {
+  const RaceParams p = paper_worst_case();
+  const std::size_t bound = max_safe_area_bytes(p);
+  EXPECT_FALSE(attacker_escapes(p, bound - 1));
+  EXPECT_TRUE(attacker_escapes(p, bound + 1));
+}
+
+TEST(RaceModel, SmallKernelFullyProtected) {
+  EXPECT_DOUBLE_EQ(unprotected_fraction(paper_worst_case(), 100'000), 0.0);
+  EXPECT_DOUBLE_EQ(unprotected_fraction(paper_worst_case(), 0), 0.0);
+}
+
+TEST(RaceModel, FasterRecoveryShrinksSafeArea) {
+  RaceParams p = paper_worst_case();
+  const std::size_t slow = max_safe_area_bytes(p);
+  p.tns_recover_s = 1.0e-3;  // a nimbler attacker
+  EXPECT_LT(max_safe_area_bytes(p), slow);
+}
+
+TEST(RaceModel, FasterDefenderGrowsSafeArea) {
+  RaceParams p = paper_worst_case();
+  const std::size_t base = max_safe_area_bytes(p);
+  p.ts_1byte_s /= 2.0;
+  EXPECT_GT(max_safe_area_bytes(p), 1.9 * base);
+}
+
+TEST(RaceModel, LargerThresholdHelpsDefender) {
+  // A sloppier prober (larger Tns_threshold) detects later, giving the
+  // defender more scanning room.
+  RaceParams p = paper_worst_case();
+  const std::size_t base = max_safe_area_bytes(p);
+  p.tns_threshold_s *= 2.0;
+  EXPECT_GT(max_safe_area_bytes(p), base);
+}
+
+TEST(RaceModel, DegenerateParamsGiveZero) {
+  RaceParams p;
+  p.ts_switch_s = 1.0;
+  p.ts_1byte_s = 1e-9;
+  // Recovery + delay shorter than the switch itself.
+  p.tns_sched_s = p.tns_threshold_s = p.tns_recover_s = 0.0;
+  EXPECT_EQ(max_safe_area_bytes(p), 0u);
+  EXPECT_DOUBLE_EQ(unprotected_fraction(p, 1000), 1.0);
+}
+
+TEST(RaceModel, EscapeMonotoneInS) {
+  const RaceParams p = paper_worst_case();
+  bool prev = attacker_escapes(p, 0);
+  EXPECT_FALSE(prev);
+  for (std::size_t s = 0; s <= 2'000'000; s += 100'000) {
+    const bool now = attacker_escapes(p, s);
+    EXPECT_GE(now, prev) << "escape must be monotone in S";
+    prev = now;
+  }
+  EXPECT_TRUE(prev);
+}
+
+TEST(RaceModel, PaperAreaLayoutIsSafeEverywhere) {
+  // Every default area, scanned even at A57 max speed, finishes before
+  // the §IV-C worst-case attacker hides: Eq. 1 fails for S = area size.
+  const RaceParams p = paper_worst_case();
+  for (std::size_t size : {876'616u, 431'360u, 730'000u}) {
+    EXPECT_FALSE(attacker_escapes(p, size)) << size;
+  }
+  // While the PKM whole-kernel scan is hopeless.
+  EXPECT_TRUE(attacker_escapes(p, 11'916'240u));
+}
+
+}  // namespace
+}  // namespace satin::core

@@ -1,0 +1,225 @@
+// SATIN orchestration on a quiet system (no attacker): rounds, records,
+// coverage, configuration knobs.
+#include "core/satin.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/scenario.h"
+
+namespace satin::core {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+struct SatinFixture {
+  explicit SatinFixture(SatinConfig config = {})
+      : satin(s.platform(), s.kernel(), s.tsp(), config) {}
+  scenario::Scenario s;
+  Satin satin;
+};
+
+TEST(Satin, DefaultConfigMatchesPaperGeometry) {
+  SatinFixture f;
+  EXPECT_EQ(f.satin.area_count(), 19);
+  // tp = Tgoal / m = 152 / 19 = 8 s.
+  EXPECT_NEAR(f.satin.tp().sec(), 8.0, 1e-9);
+}
+
+TEST(Satin, GuaranteedScanPeriodNearPaper152s) {
+  // §VI-B1: "the entire time is approximately 152 s".
+  SatinFixture f;
+  const double t = f.satin.guaranteed_scan_period(hw::CoreType::kBigA57).sec();
+  EXPECT_GT(t, 151.9);
+  EXPECT_LT(t, 152.3);
+}
+
+TEST(Satin, RunsRoundsAtExpectedRate) {
+  SatinFixture f;
+  f.satin.start();
+  f.s.run_for(Duration::from_sec(160));
+  // ~20 rounds in 160 s at tp = 8 s (randomized, so allow slack).
+  EXPECT_GE(f.satin.rounds(), 12u);
+  EXPECT_LE(f.satin.rounds(), 30u);
+  EXPECT_EQ(f.satin.alarm_count(), 0u) << "clean system must not alarm";
+}
+
+TEST(Satin, EveryCycleCoversAllAreas) {
+  SatinConfig config;
+  config.tp_s = 0.5;  // fast rounds for the test
+  SatinFixture f(config);
+  f.satin.start();
+  while (f.satin.full_cycles() < 2 && f.s.now() < Time::from_sec(60)) {
+    f.s.run_for(Duration::from_sec(1));
+  }
+  ASSERT_GE(f.satin.full_cycles(), 2u);
+  std::set<int> first_cycle;
+  for (std::size_t i = 0; i < 19; ++i) {
+    first_cycle.insert(f.satin.round_records()[i].area);
+  }
+  EXPECT_EQ(first_cycle.size(), 19u);
+  for (int a = 0; a < 19; ++a) {
+    EXPECT_GE(f.satin.checker().check_count(a), 1u) << "area " << a;
+  }
+}
+
+TEST(Satin, RoundRecordsAreInternallyConsistent) {
+  SatinConfig config;
+  config.tp_s = 0.5;
+  SatinFixture f(config);
+  f.satin.start();
+  f.s.run_for(Duration::from_sec(20));
+  ASSERT_GT(f.satin.round_records().size(), 10u);
+  // Records are appended at scan completion; overlapping rounds on
+  // different cores may complete out of round order, but the set of round
+  // numbers is exactly 1..N and completion times are non-decreasing.
+  std::set<std::uint64_t> round_numbers;
+  sim::Time prev_end;
+  for (const RoundRecord& r : f.satin.round_records()) {
+    EXPECT_TRUE(round_numbers.insert(r.round).second);
+    EXPECT_GE(r.scan_end, prev_end);
+    prev_end = r.scan_end;
+    EXPECT_GE(r.area, 0);
+    EXPECT_LT(r.area, 19);
+    EXPECT_GE(r.core, 0);
+    EXPECT_LT(r.core, 6);
+    EXPECT_FALSE(r.alarm);
+    // entry < handler_start < scan_end; switch cost within §IV-B1 range.
+    const double sw = (r.handler_start - r.entry).sec();
+    EXPECT_GE(sw, 2.38e-6);
+    EXPECT_LE(sw, 3.60e-6);
+    EXPECT_GT(r.scan_end, r.handler_start);
+    // Scan duration bounded by area size at the slowest calibrated speed.
+    const double scan = (r.scan_end - r.handler_start).sec();
+    EXPECT_LT(scan, 876'616 * 1.14e-8 + 1e-6);
+    EXPECT_GT(scan, 431'360 * 6.67e-9 - 1e-6);
+  }
+  EXPECT_EQ(*round_numbers.begin(), 1u);
+  EXPECT_EQ(*round_numbers.rbegin(), round_numbers.size());
+}
+
+TEST(Satin, MultiCoreModeUsesAllCores) {
+  SatinConfig config;
+  config.tp_s = 0.2;
+  SatinFixture f(config);
+  f.satin.start();
+  f.s.run_for(Duration::from_sec(30));
+  std::set<hw::CoreId> cores;
+  for (const RoundRecord& r : f.satin.round_records()) cores.insert(r.core);
+  EXPECT_EQ(cores.size(), 6u);
+}
+
+TEST(Satin, FixedCoreModeStaysOnOneCore) {
+  SatinConfig config;
+  config.multi_core = false;
+  config.fixed_core = 5;
+  config.tp_s = 0.2;
+  SatinFixture f(config);
+  f.satin.start();
+  f.s.run_for(Duration::from_sec(10));
+  ASSERT_GT(f.satin.rounds(), 5u);
+  for (const RoundRecord& r : f.satin.round_records()) {
+    EXPECT_EQ(r.core, 5);
+  }
+}
+
+TEST(Satin, NonRandomizedWakeIsStrictlyPeriodic) {
+  SatinConfig config;
+  config.multi_core = false;
+  config.fixed_core = 4;
+  config.randomize_wake = false;
+  config.tp_s = 1.0;
+  SatinFixture f(config);
+  f.satin.start();
+  f.s.run_for(Duration::from_sec(12));
+  const auto& records = f.satin.round_records();
+  ASSERT_GE(records.size(), 8u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const double gap = (records[i].entry - records[i - 1].entry).sec();
+    // tp + (round duration); jitter only from the scan itself.
+    EXPECT_NEAR(gap, 1.0, 0.02);
+  }
+}
+
+TEST(Satin, RandomizedWakeGapsSpreadOverTwoTp) {
+  SatinConfig config;
+  config.multi_core = false;
+  config.fixed_core = 4;
+  config.tp_s = 0.5;
+  SatinFixture f(config);
+  f.satin.start();
+  f.s.run_for(Duration::from_sec(60));
+  const auto& records = f.satin.round_records();
+  ASSERT_GE(records.size(), 40u);
+  double min_gap = 1e9, max_gap = 0.0;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const double gap = (records[i].entry - records[i - 1].entry).sec();
+    min_gap = std::min(min_gap, gap);
+    max_gap = std::max(max_gap, gap);
+    EXPECT_LE(gap, 1.1);
+  }
+  EXPECT_LT(min_gap, 0.35);
+  EXPECT_GT(max_gap, 0.65);
+}
+
+TEST(Satin, StopHaltsRounds) {
+  SatinConfig config;
+  config.tp_s = 0.2;
+  SatinFixture f(config);
+  f.satin.start();
+  f.s.run_for(Duration::from_sec(5));
+  f.satin.stop();
+  const std::uint64_t rounds = f.satin.rounds();
+  f.s.run_for(Duration::from_sec(5));
+  EXPECT_EQ(f.satin.rounds(), rounds);
+  EXPECT_FALSE(f.satin.running());
+}
+
+TEST(Satin, StartTwiceThrows) {
+  SatinFixture f;
+  f.satin.start();
+  EXPECT_THROW(f.satin.start(), std::logic_error);
+}
+
+TEST(Satin, AreaOfOffsetFindsSyscallTable) {
+  SatinFixture f;
+  const std::size_t off =
+      f.s.kernel().syscall_entry_offset(os::kGettidSyscallNr);
+  EXPECT_EQ(f.satin.area_of_offset(off), 14);
+}
+
+TEST(Satin, PkmBaselineConfigShape) {
+  const SatinConfig config = make_pkm_baseline_config(8.0, false, false, 5);
+  SatinFixture f(config);
+  EXPECT_EQ(f.satin.area_count(), 1);
+  EXPECT_NEAR(f.satin.tp().sec(), 8.0, 1e-9);
+  f.satin.start();
+  f.s.run_for(Duration::from_sec(20));
+  EXPECT_GE(f.satin.rounds(), 2u);
+  for (const RoundRecord& r : f.satin.round_records()) {
+    EXPECT_EQ(r.core, 5);
+    EXPECT_EQ(r.area, 0);
+    // Whole-kernel pass: ~80 ms on the A57 (§III-B1's 8.04e-2 s).
+    const double scan = (r.scan_end - r.handler_start).sec();
+    EXPECT_GT(scan, 0.075);
+    EXPECT_LT(scan, 0.095);
+  }
+}
+
+TEST(Satin, SecureTimerKeepsReprogrammingItself) {
+  // Self-activation never needs the normal world: after each round the
+  // timer is armed again from within the secure world.
+  SatinConfig config;
+  config.tp_s = 0.3;
+  SatinFixture f(config);
+  f.satin.start();
+  f.s.run_for(Duration::from_sec(10));
+  const std::uint64_t first = f.satin.rounds();
+  f.s.run_for(Duration::from_sec(10));
+  EXPECT_GT(f.satin.rounds(), first);
+}
+
+}  // namespace
+}  // namespace satin::core

@@ -1,0 +1,145 @@
+#include "core/wakeup_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace satin::core {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+WakeUpQueue make_queue(double tp_s = 8.0) {
+  return WakeUpQueue(6, Duration::from_sec_f(tp_s), sim::Rng(7));
+}
+
+TEST(WakeUpQueue, BootAssignsEveryCoreAFutureTime) {
+  WakeUpQueue q = make_queue();
+  const auto times = q.boot_times(Time::from_sec(1));
+  ASSERT_EQ(times.size(), 6u);
+  for (const Time& t : times) EXPECT_GE(t, Time::from_sec(1));
+  EXPECT_EQ(q.generations(), 1u);
+}
+
+TEST(WakeUpQueue, ConsecutiveRoundGapsWithinTwoTp) {
+  // §V-C: "the interval between two consecutive rounds of introspection
+  // is among [0, 2*tp]".
+  WakeUpQueue q = make_queue(8.0);
+  auto times = q.boot_times(Time::zero());
+  std::vector<Time> all(times.begin(), times.end());
+  // Pull several generations by having each core extract in slot order.
+  for (int gen = 0; gen < 40; ++gen) {
+    for (int c = 0; c < 6; ++c) {
+      all.push_back(q.next_wake_for(c, all.back()));
+    }
+  }
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const double gap = (all[i] - all[i - 1]).sec();
+    EXPECT_GE(gap, 0.0);
+    EXPECT_LE(gap, 16.0 + 1e-9);
+  }
+}
+
+TEST(WakeUpQueue, MeanGapApproachesTp) {
+  WakeUpQueue q = make_queue(8.0);
+  auto times = q.boot_times(Time::zero());
+  std::vector<Time> all(times.begin(), times.end());
+  for (int gen = 0; gen < 300; ++gen) {
+    for (int c = 0; c < 6; ++c) all.push_back(q.next_wake_for(c, all.back()));
+  }
+  std::sort(all.begin(), all.end());
+  const double span = (all.back() - all.front()).sec();
+  const double mean_gap = span / static_cast<double>(all.size() - 1);
+  EXPECT_NEAR(mean_gap, 8.0, 0.5);
+}
+
+TEST(WakeUpQueue, DeterministicModeIsStrictlyPeriodic) {
+  WakeUpQueue q = make_queue(8.0);
+  q.set_randomized(false);
+  const auto times = q.boot_times(Time::zero());
+  std::vector<Time> sorted(times.begin(), times.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], Time::from_sec(8) * static_cast<int>(i + 1));
+  }
+}
+
+TEST(WakeUpQueue, AssignmentIsAFreshPermutationPerGeneration) {
+  // Across generations, each core should see varied slot positions — the
+  // wake order must not leak a fixed pattern.
+  WakeUpQueue q = make_queue(1.0);
+  auto times = q.boot_times(Time::zero());
+  std::map<int, std::set<int>> core_slots;
+  for (int gen = 0; gen < 50; ++gen) {
+    std::vector<std::pair<Time, int>> order;
+    for (int c = 0; c < 6; ++c) {
+      order.emplace_back(q.next_wake_for(c, times.back()), c);
+    }
+    std::sort(order.begin(), order.end());
+    for (int slot = 0; slot < 6; ++slot) {
+      core_slots[order[static_cast<std::size_t>(slot)].second].insert(slot);
+    }
+  }
+  for (const auto& [core, slots] : core_slots) {
+    EXPECT_GE(slots.size(), 4u) << "core " << core
+                                << " stuck in few slots: not random";
+  }
+}
+
+TEST(WakeUpQueue, FastCoreMayRunAheadIntoNextGeneration) {
+  // A fast core that laps a slow core's round must not deadlock the
+  // queue: it pre-generates the following slot generation.
+  WakeUpQueue q = make_queue(1.0);
+  q.boot_times(Time::zero());
+  const Time first = q.next_wake_for(0, Time::from_sec(1));
+  const Time second = q.next_wake_for(0, first);
+  EXPECT_GT(second, first);
+  EXPECT_EQ(q.generations(), 3u);
+}
+
+TEST(WakeUpQueue, ExtractBeforeBootThrows) {
+  WakeUpQueue q = make_queue(1.0);
+  EXPECT_THROW(q.next_wake_for(0, Time::zero()), std::logic_error);
+}
+
+TEST(WakeUpQueue, BootTwiceThrows) {
+  WakeUpQueue q = make_queue(1.0);
+  q.boot_times(Time::zero());
+  EXPECT_THROW(q.boot_times(Time::zero()), std::logic_error);
+}
+
+TEST(WakeUpQueue, GenerationsAdvanceWhenExhausted) {
+  WakeUpQueue q = make_queue(1.0);
+  q.boot_times(Time::zero());
+  EXPECT_EQ(q.generations(), 1u);
+  for (int c = 0; c < 6; ++c) q.next_wake_for(c, Time::from_sec(1));
+  EXPECT_EQ(q.generations(), 2u);
+  q.next_wake_for(3, Time::from_sec(20));
+  EXPECT_EQ(q.generations(), 3u);
+}
+
+TEST(WakeUpQueue, NewGenerationStartsAfterPreviousSlots) {
+  WakeUpQueue q = make_queue(2.0);
+  const auto boot = q.boot_times(Time::zero());
+  const Time last_boot = *std::max_element(boot.begin(), boot.end());
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_GE(q.next_wake_for(c, boot[static_cast<std::size_t>(c)]),
+              last_boot);
+  }
+}
+
+TEST(WakeUpQueue, Validation) {
+  EXPECT_THROW(WakeUpQueue(0, Duration::from_sec(1), sim::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(WakeUpQueue(4, Duration::zero(), sim::Rng(1)),
+               std::invalid_argument);
+  WakeUpQueue q = make_queue();
+  q.boot_times(Time::zero());
+  EXPECT_THROW(q.next_wake_for(-1, Time::zero()), std::out_of_range);
+  EXPECT_THROW(q.next_wake_for(6, Time::zero()), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace satin::core

@@ -1,0 +1,173 @@
+// The TOCTTOU-exact memory model: the decisive component of the race.
+#include "hw/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace satin::hw {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> out;
+  for (int v : vals) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(Memory, StartsZeroed) {
+  Memory mem(16);
+  EXPECT_EQ(mem.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(mem.read(i), 0);
+}
+
+TEST(Memory, PokeAndRead) {
+  Memory mem(16);
+  mem.poke(4, bytes({1, 2, 3}));
+  EXPECT_EQ(mem.read(4), 1);
+  EXPECT_EQ(mem.read(6), 3);
+  EXPECT_EQ(mem.read(3), 0);
+}
+
+TEST(Memory, OutOfRangeAccessesThrow) {
+  Memory mem(8);
+  EXPECT_THROW(mem.poke(7, bytes({1, 2})), std::out_of_range);
+  EXPECT_THROW(mem.write(sim::Time::zero(), 8, bytes({1})),
+               std::out_of_range);
+  EXPECT_THROW(mem.read(8), std::out_of_range);
+  EXPECT_THROW(mem.begin_scan(sim::Time::zero(), 4, 5, 1000.0),
+               std::out_of_range);
+}
+
+TEST(Memory, BeginScanValidatesArguments) {
+  Memory mem(8);
+  EXPECT_THROW(mem.begin_scan(sim::Time::zero(), 0, 0, 1000.0),
+               std::invalid_argument);
+  EXPECT_THROW(mem.begin_scan(sim::Time::zero(), 0, 4, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Memory, ScanWithoutWritesSeesCurrentBytes) {
+  Memory mem(8);
+  mem.poke(0, bytes({9, 8, 7, 6, 5, 4, 3, 2}));
+  auto token = mem.begin_scan(sim::Time::zero(), 2, 4, 1000.0);
+  const auto view = mem.finish_scan(token);
+  EXPECT_EQ(view, bytes({7, 6, 5, 4}));
+}
+
+TEST(Memory, WriteBeforeCursorTouchIsVisible) {
+  Memory mem(8);
+  // Scan starts at t=0, 1 ns per byte: byte k touched at k ns.
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 8, 1000.0);
+  // Byte 5 is touched at 5 ns; a write at 3 ns lands first.
+  mem.write(sim::Time::from_ns(3), 5, bytes({0xAA}));
+  const auto view = mem.finish_scan(token);
+  EXPECT_EQ(view[5], 0xAA);
+}
+
+TEST(Memory, WriteAfterCursorTouchIsInvisible) {
+  Memory mem(8);
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 8, 1000.0);
+  // Byte 2 touched at 2 ns; the write arrives at 3 ns — too late.
+  mem.write(sim::Time::from_ns(3), 2, bytes({0xAA}));
+  const auto view = mem.finish_scan(token);
+  EXPECT_EQ(view[2], 0);
+  // The real memory does hold the new value.
+  EXPECT_EQ(mem.read(2), 0xAA);
+}
+
+TEST(Memory, WriteExactlyAtTouchTimeWins) {
+  Memory mem(8);
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 8, 1000.0);
+  mem.write(sim::Time::from_ns(4), 4, bytes({0x55}));
+  const auto view = mem.finish_scan(token);
+  EXPECT_EQ(view[4], 0x55);
+}
+
+TEST(Memory, MultiByteWriteSplitsAcrossCursor) {
+  // This is Eq. 1 in miniature: the recovery restores a span while the
+  // scanner is mid-pass; bytes behind the cursor stay malicious in the
+  // view, bytes ahead come back clean.
+  Memory mem(16);
+  std::vector<std::uint8_t> mal(8, 0xFF);
+  mem.poke(4, mal);
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 16, 1000.0);
+  // Cursor reaches offset 8 at 8 ns. Restore offsets 4..11 at t=8 ns:
+  // offsets 4..7 were touched at 4..7 ns (still 0xFF in the view);
+  // offsets 8..11 touched at 8..11 ns (>= 8 ns: restored to 0).
+  mem.write(sim::Time::from_ns(8), 4, std::vector<std::uint8_t>(8, 0x00));
+  const auto view = mem.finish_scan(token);
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_EQ(view[i], 0xFF) << i;
+  for (std::size_t i = 8; i < 12; ++i) EXPECT_EQ(view[i], 0x00) << i;
+}
+
+TEST(Memory, ScanStartedLaterUsesItsOwnClock) {
+  Memory mem(8);
+  auto token = mem.begin_scan(sim::Time::from_ns(100), 0, 8, 1000.0);
+  // Byte 6 touched at 106 ns: write at 105 ns is visible.
+  mem.write(sim::Time::from_ns(105), 6, bytes({0x11}));
+  // Byte 1 touched at 101 ns: write at 103 ns is too late.
+  mem.write(sim::Time::from_ns(103), 1, bytes({0x22}));
+  const auto view = mem.finish_scan(token);
+  EXPECT_EQ(view[6], 0x11);
+  EXPECT_EQ(view[1], 0);
+}
+
+TEST(Memory, ConcurrentScansResolveIndependently) {
+  Memory mem(8);
+  auto fast = mem.begin_scan(sim::Time::zero(), 0, 8, 100.0);   // 0.1 ns/B
+  auto slow = mem.begin_scan(sim::Time::zero(), 0, 8, 10000.0); // 10 ns/B
+  // Write byte 7 at 5 ns: fast touched it at 0.7 ns (miss), slow at 70 ns
+  // (sees it).
+  mem.write(sim::Time::from_ns(5), 7, bytes({0x77}));
+  EXPECT_EQ(mem.active_scan_count(), 2u);
+  EXPECT_EQ(mem.finish_scan(fast)[7], 0);
+  EXPECT_EQ(mem.finish_scan(slow)[7], 0x77);
+  EXPECT_EQ(mem.active_scan_count(), 0u);
+}
+
+TEST(Memory, WriteOutsideScanRangeIgnoredByView) {
+  Memory mem(16);
+  auto token = mem.begin_scan(sim::Time::zero(), 4, 4, 1000.0);
+  mem.write(sim::Time::zero(), 0, bytes({1, 2, 3, 4}));
+  mem.write(sim::Time::zero(), 8, bytes({5}));
+  const auto view = mem.finish_scan(token);
+  EXPECT_EQ(view, bytes({0, 0, 0, 0}));
+}
+
+TEST(Memory, FinishUnknownTokenThrows) {
+  Memory mem(8);
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 4, 1000.0);
+  EXPECT_EQ(mem.finish_scan(token).size(), 4u);
+  EXPECT_THROW(mem.finish_scan(token), std::logic_error);
+}
+
+TEST(Memory, CancelScanDropsIt) {
+  Memory mem(8);
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 4, 1000.0);
+  mem.cancel_scan(token);
+  EXPECT_EQ(mem.active_scan_count(), 0u);
+  EXPECT_THROW(mem.cancel_scan(token), std::logic_error);
+}
+
+TEST(Memory, WriteCountTracksTimedWritesOnly) {
+  Memory mem(8);
+  mem.poke(0, bytes({1}));
+  EXPECT_EQ(mem.write_count(), 0u);
+  mem.write(sim::Time::zero(), 0, bytes({2}));
+  mem.write(sim::Time::zero(), 1, bytes({3}));
+  EXPECT_EQ(mem.write_count(), 2u);
+}
+
+TEST(Memory, FractionalPerByteSpeed) {
+  // Table I speeds are fractional in ps (e.g. 6.71e-9 s = 6710 ps); a
+  // sub-ps fraction must not distort the touch ordering.
+  Memory mem(1000);
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 1000, 6710.5);
+  // Byte 500 touched at 500 * 6710.5 ps = 3,355,250 ps.
+  mem.write(sim::Time::from_ps(3'355'249), 500, bytes({0xAB}));
+  mem.write(sim::Time::from_ps(3'361'962), 501, bytes({0xCD}));  // late by 2ps
+  const auto view = mem.finish_scan(token);
+  EXPECT_EQ(view[500], 0xAB);
+  EXPECT_EQ(view[501], 0x00);
+}
+
+}  // namespace
+}  // namespace satin::hw

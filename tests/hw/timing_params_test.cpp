@@ -1,0 +1,131 @@
+// Calibration checks: every sampler reproduces the min/avg/max the paper
+// measured (Table I, §IV-B1, §IV-B2) within tight tolerance.
+#include "hw/timing_params.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace satin::hw {
+namespace {
+
+struct SpecCase {
+  const char* name;
+  JitterSpec spec;
+};
+
+class JitterSpecCalibration : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(JitterSpecCalibration, ReproducesPaperStatistics) {
+  const JitterSpec& spec = GetParam().spec;
+  sim::Rng rng(2024);
+  sim::Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(spec.sample_seconds(rng));
+  // Hard bounds: never outside the observed range.
+  EXPECT_GE(acc.min(), spec.min_s);
+  EXPECT_LE(acc.max(), spec.max_s);
+  // Long-run mean within 2% of the reported average.
+  EXPECT_NEAR(acc.mean(), spec.avg_s, 0.02 * spec.avg_s);
+  // The tail actually reaches toward the observed maximum.
+  EXPECT_GT(acc.max(), spec.avg_s + 0.5 * (spec.max_s - spec.avg_s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1AndRecovery, JitterSpecCalibration,
+    ::testing::Values(
+        SpecCase{"hash_a53", TimingParams{}.hash_per_byte_a53},
+        SpecCase{"hash_a57", TimingParams{}.hash_per_byte_a57},
+        SpecCase{"snapshot_a53", TimingParams{}.snapshot_per_byte_a53},
+        SpecCase{"snapshot_a57", TimingParams{}.snapshot_per_byte_a57},
+        SpecCase{"recover_a53", TimingParams{}.recover_a53},
+        SpecCase{"recover_a57", TimingParams{}.recover_a57},
+        SpecCase{"rt_wakeup", TimingParams{}.rt_wakeup_latency},
+        SpecCase{"cfs_idle", TimingParams{}.cfs_wakeup_latency_idle},
+        SpecCase{"cfs_busy", TimingParams{}.cfs_wakeup_latency_busy}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(JitterSpec, DegenerateRangeReturnsAverage) {
+  JitterSpec spec{1e-3, 1e-3, 1e-3};
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(spec.sample_seconds(rng), 1e-3);
+}
+
+TEST(TimingParams, SwitchSampleWithinPaperRange) {
+  // §IV-B1: Ts_switch in [2.38e-6, 3.60e-6] s on both core types.
+  TimingParams timing;
+  sim::Rng rng(7);
+  sim::Accumulator acc;
+  for (int i = 0; i < 5000; ++i) acc.add(timing.sample_switch(rng).sec());
+  EXPECT_GE(acc.min(), 2.38e-6);
+  EXPECT_LE(acc.max(), 3.60e-6);
+  EXPECT_NEAR(acc.mean(), (2.38e-6 + 3.60e-6) / 2, 0.05e-6);
+}
+
+TEST(TimingParams, CoreTypeSelectorsMatchTable1) {
+  TimingParams timing;
+  EXPECT_DOUBLE_EQ(timing.hash_per_byte(CoreType::kLittleA53).avg_s, 1.07e-8);
+  EXPECT_DOUBLE_EQ(timing.hash_per_byte(CoreType::kBigA57).avg_s, 6.71e-9);
+  EXPECT_DOUBLE_EQ(timing.snapshot_per_byte(CoreType::kLittleA53).avg_s,
+                   1.08e-8);
+  EXPECT_DOUBLE_EQ(timing.snapshot_per_byte(CoreType::kBigA57).avg_s,
+                   6.75e-9);
+  EXPECT_DOUBLE_EQ(timing.recover(CoreType::kLittleA53).avg_s, 5.80e-3);
+  EXPECT_DOUBLE_EQ(timing.recover(CoreType::kBigA57).avg_s, 4.96e-3);
+}
+
+TEST(TimingParams, A57BeatsA53) {
+  // Table I's structural finding: the big core introspects faster.
+  TimingParams timing;
+  EXPECT_LT(timing.hash_per_byte_a57.avg_s, timing.hash_per_byte_a53.avg_s);
+  EXPECT_LT(timing.snapshot_per_byte_a57.avg_s,
+            timing.snapshot_per_byte_a53.avg_s);
+}
+
+TEST(TimingParams, DirectHashNoSlowerThanSnapshot) {
+  // §IV-B1: "directly hashing the kernel's memory is more efficient than
+  // capturing and hashing the snapshot."
+  TimingParams timing;
+  EXPECT_LE(timing.hash_per_byte_a53.avg_s, timing.snapshot_per_byte_a53.avg_s);
+  EXPECT_LE(timing.hash_per_byte_a57.avg_s, timing.snapshot_per_byte_a57.avg_s);
+}
+
+TEST(CrossCoreDelayModel, MagnitudeScaleMatchesSingleCoreObservation) {
+  // §IV-B2: probing a single core sees ~1/4 of the all-core thresholds.
+  CrossCoreDelayModel model;
+  EXPECT_DOUBLE_EQ(model.magnitude_scale(6), 1.0);
+  EXPECT_DOUBLE_EQ(model.magnitude_scale(1), 0.25);
+  EXPECT_GT(model.magnitude_scale(4), model.magnitude_scale(2));
+  // Clamped outside [1, 6].
+  EXPECT_DOUBLE_EQ(model.magnitude_scale(0), 0.25);
+  EXPECT_DOUBLE_EQ(model.magnitude_scale(9), 1.0);
+}
+
+TEST(CrossCoreDelayModel, BaseSamplesWithinScaledBounds) {
+  CrossCoreDelayModel model;
+  sim::Rng rng(5);
+  for (int cores : {1, 6}) {
+    const double s = model.magnitude_scale(cores);
+    for (int i = 0; i < 2000; ++i) {
+      const double x = model.sample_base_seconds(rng, cores);
+      EXPECT_GE(x, model.base_min_s * s);
+      EXPECT_LE(x, model.base_max_s * s);
+    }
+  }
+}
+
+TEST(CrossCoreDelayModel, SpikesBoundedByObservedMaximum) {
+  CrossCoreDelayModel model;
+  sim::Rng rng(6);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = model.sample_spike_seconds(rng, 6);
+    EXPECT_GE(x, model.spike_min_s);
+    EXPECT_LE(x, model.spike_max_s);  // Table II max: 1.77e-3 s
+  }
+}
+
+TEST(CrossCoreDelayModel, WorstCaseThresholdIsPapersRoundedValue) {
+  EXPECT_DOUBLE_EQ(CrossCoreDelayModel{}.worst_case_threshold_s, 1.8e-3);
+}
+
+}  // namespace
+}  // namespace satin::hw

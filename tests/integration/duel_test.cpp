@@ -1,0 +1,170 @@
+// Full-stack confrontations beyond the smoke test: prober variants,
+// degraded defenses, strategy variations, and the race-bound edge.
+#include <gtest/gtest.h>
+
+#include "scenario/experiments.h"
+
+namespace satin {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+TEST(Duel, KProberIEvaderBetrayedByItsOwnVectorTrace) {
+  // §III-C1/§IV-C: KProber-I rewrites the IRQ exception vector — a trace
+  // the prober cannot remove while it is probing. Even the PKM baseline
+  // scans the vector page within microseconds of starting (it sits near
+  // the kernel start), long before the evader reacts.
+  scenario::Scenario scenario;
+  scenario::DuelConfig duel;
+  duel.satin = core::make_pkm_baseline_config(2.0, true, true);
+  duel.evader.prober.mode = attack::ProbeMode::kTimerInterrupt;
+  // Tick-grained staleness: threshold above 1/HZ.
+  duel.evader.prober.threshold_s = 6e-3;
+  duel.rounds_target = 10;
+  const auto report = scenario::run_duel(scenario, duel);
+  EXPECT_GE(report.rounds, 10u);
+  // The GETTID hijack itself escapes (it sits ~9.5 MB in)...
+  // ...but every pass alarms anyway, on the vector trace.
+  EXPECT_EQ(report.alarms, report.rounds);
+}
+
+TEST(Duel, OversizedAreasReopenTheRaceWindow) {
+  // Ablation: split the kernel into 4 oversized areas (~3 MB each, far
+  // above the 1,218,351 B bound). The hijacked entry now sits deep inside
+  // its area and the evader wins every round — the Eq. 2 size bound is
+  // what makes SATIN work, not the randomization alone.
+  scenario::Scenario scenario;
+  scenario::DuelConfig duel;
+  duel.satin.areas_override =
+      core::partition_even(scenario.kernel().map(),
+                           /*max_bytes=*/4'200'000, /*target_count=*/3);
+  duel.satin.tp_s = 2.0;
+  duel.rounds_target = 12;
+  const auto report = scenario::run_duel(scenario, duel);
+  EXPECT_GE(report.rounds, 12u);
+  EXPECT_GE(report.target_area_rounds, 2u);
+  EXPECT_TRUE(report.evader_always_escaped())
+      << report.target_area_alarms << "/" << report.target_area_rounds;
+}
+
+TEST(Duel, PredictableScheduleDefeatedWithoutAnyProber) {
+  // §V-C's rationale for the random deviation: a strictly periodic
+  // checker can be evaded by *prediction* alone. The attacker hides
+  // shortly before each known wake time and re-arms after — no side
+  // channel needed.
+  scenario::Scenario scenario;
+  core::SatinConfig config;
+  config.multi_core = false;
+  config.fixed_core = 5;
+  config.randomize_wake = false;  // strictly periodic: predictable
+  config.tp_s = 1.0;
+  core::Satin satin(scenario.platform(), scenario.kernel(), scenario.tsp(),
+                    config);
+  satin.start();
+
+  attack::Rootkit rootkit(scenario.os(),
+                          scenario.platform().rng().fork("oracle"));
+  rootkit.add_gettid_trace();
+  rootkit.install();
+  // The attacker learned the period; it hides 20 ms before every expected
+  // wake and re-arms 200 ms after.
+  for (int k = 1; k <= 12; ++k) {
+    const Time wake = Time::from_sec(k);
+    scenario.engine().schedule_at(wake - Duration::from_ms(20), [&rootkit] {
+      if (rootkit.installed() && !rootkit.recovering()) {
+        rootkit.begin_recovery(hw::CoreType::kBigA57, [] {});
+      }
+    });
+    scenario.engine().schedule_at(wake + Duration::from_ms(200), [&rootkit] {
+      if (!rootkit.installed() && !rootkit.recovering()) rootkit.install();
+    });
+  }
+  scenario.run_for(Duration::from_sec(13));
+  EXPECT_GE(satin.rounds(), 10u);
+  EXPECT_EQ(satin.alarm_count(), 0u)
+      << "a predictable schedule protects nothing";
+
+  // The same oracle schedule against the randomized variant misfires: the
+  // deviation makes wake times unpredictable (checked by the smoke test's
+  // full SATIN duel; here we only assert the periodic case).
+}
+
+TEST(Duel, SnapshotStrategySatinAlsoCatchesEvader) {
+  scenario::Scenario scenario;
+  scenario::DuelConfig duel;
+  duel.satin.strategy = secure::ScanStrategy::kSnapshotThenHash;
+  duel.satin.tgoal_s = 38.0;
+  duel.rounds_target = 40;
+  const auto report = scenario::run_duel(scenario, duel);
+  EXPECT_TRUE(report.satin_always_caught());
+  EXPECT_EQ(report.false_negatives, 0u);
+}
+
+TEST(Duel, Fnv1aHashSatinAlsoCatchesEvader) {
+  scenario::Scenario scenario;
+  scenario::DuelConfig duel;
+  duel.satin.hash = secure::HashKind::kFnv1a;
+  duel.satin.tgoal_s = 38.0;
+  duel.rounds_target = 40;
+  const auto report = scenario::run_duel(scenario, duel);
+  EXPECT_TRUE(report.satin_always_caught());
+}
+
+TEST(Duel, GroundTruthBookkeepingConsistent) {
+  scenario::Scenario scenario;
+  scenario::DuelConfig duel;
+  duel.satin.tgoal_s = 38.0;
+  duel.rounds_target = 30;
+  const auto report = scenario::run_duel(scenario, duel);
+  EXPECT_EQ(report.secure_stays, report.rounds);
+  // Roughly one detection per stay (staleness can oscillate around the
+  // threshold at a stay's edge, re-latching once).
+  EXPECT_GE(report.prober_detections, report.rounds);
+  EXPECT_LE(report.prober_detections, report.rounds + 3);
+  // Overlapping rounds (gap ~ 0) can share one recovery, so evasions may
+  // fall slightly short of the round count.
+  EXPECT_LE(report.evasions_started, report.rounds);
+  EXPECT_GE(report.evasions_started + 5, report.rounds);
+  // Every hide was followed by a re-arm (except possibly the last).
+  EXPECT_GE(report.rearms + 1, report.evasions_started);
+}
+
+TEST(Duel, EvaderKeepsRichOsAliveDuringDuel) {
+  // The whole point of asynchronous introspection on multi-core: the rich
+  // OS keeps running on other cores while rounds execute.
+  scenario::Scenario scenario;
+  auto* worker = scenario.os().add_thread(
+      std::make_unique<os::FunctionThread>("worker", [](os::OsContext&) {
+        return os::ComputeAction{Duration::from_ms(1), nullptr};
+      }));
+  scenario::DuelConfig duel;
+  duel.satin.tgoal_s = 19.0;  // tp = 1 s: frequent rounds
+  duel.rounds_target = 20;
+  const auto report = scenario::run_duel(scenario, duel);
+  EXPECT_GE(report.rounds, 20u);
+  // The CFS worker got nearly all of one core despite ~20 stays.
+  EXPECT_GT(worker->cpu_time().sec() / report.sim_seconds, 0.90);
+}
+
+TEST(Duel, FixedCoreSatinStillCatchesDefaultLayout) {
+  // With the default (bound-respecting) areas even the fixed-core,
+  // single-core-probed configuration catches the evader: the §IV-B2
+  // advantage of random cores shows up at the race margin, not here.
+  scenario::Scenario scenario;
+  scenario::DuelConfig duel;
+  duel.satin.multi_core = false;
+  duel.satin.fixed_core = 4;  // big core
+  duel.satin.tp_s = 1.0;
+  duel.evader.prober.probed_cores = {4};
+  duel.evader.prober.observer_core = 0;
+  duel.evader.prober.threshold_s = 0.45e-3;  // single-core probing: ~1/4
+  duel.rounds_target = 40;
+  const auto report = scenario::run_duel(scenario, duel);
+  EXPECT_GE(report.target_area_rounds, 1u);
+  EXPECT_TRUE(report.satin_always_caught());
+  EXPECT_EQ(report.false_negatives, 0u);
+}
+
+}  // namespace
+}  // namespace satin

@@ -1,0 +1,47 @@
+// The headline results must not depend on one lucky seed: the SATIN duel
+// and the baseline evasion are re-run across platform seeds.
+#include <gtest/gtest.h>
+
+#include "scenario/experiments.h"
+
+namespace satin {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, SatinAlwaysCatchesAndProberNeverLies) {
+  scenario::ScenarioConfig config;
+  config.platform.seed = GetParam();
+  scenario::Scenario scenario(config);
+  scenario::DuelConfig duel;
+  duel.satin.tgoal_s = 38.0;
+  duel.rounds_target = 40;
+  const auto report = scenario::run_duel(scenario, duel);
+  EXPECT_GE(report.target_area_rounds, 1u);
+  EXPECT_TRUE(report.satin_always_caught())
+      << "seed " << GetParam() << ": " << report.target_area_alarms << "/"
+      << report.target_area_rounds;
+  EXPECT_EQ(report.false_positives, 0u);
+  EXPECT_EQ(report.false_negatives, 0u);
+}
+
+TEST_P(SeedSweep, EvaderAlwaysBeatsBaseline) {
+  scenario::ScenarioConfig config;
+  config.platform.seed = GetParam() ^ 0xABCDEF;
+  scenario::Scenario scenario(config);
+  scenario::DuelConfig duel;
+  duel.satin = core::make_pkm_baseline_config(2.0, true, true);
+  duel.rounds_target = 8;
+  const auto report = scenario::run_duel(scenario, duel);
+  EXPECT_TRUE(report.evader_always_escaped())
+      << "seed " << GetParam() << ": " << report.target_area_alarms << "/"
+      << report.target_area_rounds;
+  EXPECT_EQ(report.false_negatives, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ull, 42ull, 0xDEADBEEFull,
+                                           20190624ull, 777ull));
+
+}  // namespace
+}  // namespace satin

@@ -1,0 +1,98 @@
+#include "os/kernel_image.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/memory.h"
+
+namespace satin::os {
+namespace {
+
+KernelImage make_image() { return KernelImage(make_default_map()); }
+
+TEST(KernelImage, SizeMatchesMap) {
+  const KernelImage image = make_image();
+  EXPECT_EQ(image.size(), image.map().total_size());
+  EXPECT_EQ(image.size(), 11'916'240u);
+}
+
+TEST(KernelImage, ContentIsDeterministicInSeed) {
+  const KernelImage a(make_default_map(), 123);
+  const KernelImage b(make_default_map(), 123);
+  const KernelImage c(make_default_map(), 124);
+  EXPECT_EQ(a.bytes(), b.bytes());
+  EXPECT_NE(a.bytes(), c.bytes());
+}
+
+TEST(KernelImage, SyscallEntryOffsetsAreContiguousEightByteSlots) {
+  const KernelImage image = make_image();
+  const std::size_t base = image.syscall_entry_offset(0);
+  for (int nr = 1; nr < kSyscallTableEntries; ++nr) {
+    EXPECT_EQ(image.syscall_entry_offset(nr),
+              base + static_cast<std::size_t>(nr) * 8);
+  }
+}
+
+TEST(KernelImage, SyscallEntryOffsetValidatesRange) {
+  const KernelImage image = make_image();
+  EXPECT_THROW(image.syscall_entry_offset(-1), std::out_of_range);
+  EXPECT_THROW(image.syscall_entry_offset(kSyscallTableEntries),
+               std::out_of_range);
+}
+
+TEST(KernelImage, SyscallEntriesHoldTextAddresses) {
+  // Entries are little-endian VAs inside the kernel text mapping.
+  const KernelImage image = make_image();
+  const auto entry = image.benign_syscall_entry(kGettidSyscallNr);
+  std::uint64_t va = 0;
+  for (int b = 7; b >= 0; --b) {
+    va = (va << 8) | entry[static_cast<std::size_t>(b)];
+  }
+  EXPECT_GE(va, 0xFFFFFF8008080000ull);
+  EXPECT_LT(va, 0xFFFFFF8008080000ull + image.size());
+  EXPECT_EQ(va % 4, 0u);  // instruction aligned
+}
+
+TEST(KernelImage, DistinctSyscallsHaveDistinctHandlers) {
+  const KernelImage image = make_image();
+  EXPECT_NE(image.benign_syscall_entry(1), image.benign_syscall_entry(2));
+}
+
+TEST(KernelImage, InstallCopiesImageIntoMemory) {
+  const KernelImage image = make_image();
+  hw::Memory memory(16 * 1024 * 1024);
+  image.install(memory);
+  const std::size_t off = image.syscall_entry_offset(kGettidSyscallNr);
+  const auto entry = image.benign_syscall_entry(kGettidSyscallNr);
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(memory.read(off + static_cast<std::size_t>(b)),
+              entry[static_cast<std::size_t>(b)]);
+  }
+}
+
+TEST(KernelImage, InstallRejectsSmallMemory) {
+  const KernelImage image = make_image();
+  hw::Memory memory(1024);
+  EXPECT_THROW(image.install(memory), std::invalid_argument);
+}
+
+TEST(KernelImage, IrqVectorSlotIsInsideVectorsSymbol) {
+  const KernelImage image = make_image();
+  const auto vectors = image.map().find_symbol("vectors");
+  ASSERT_TRUE(vectors.has_value());
+  // AArch64 "IRQ from current EL, SPx" vector is at offset 0x280.
+  EXPECT_EQ(image.irq_vector_offset(), vectors->offset + 0x280);
+  EXPECT_EQ(image.benign_irq_vector().size(), 8u);
+}
+
+TEST(KernelImage, BenignAccessorsReflectImageBytes) {
+  const KernelImage image = make_image();
+  const std::size_t off = image.irq_vector_offset();
+  const auto slot = image.benign_irq_vector();
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(slot[static_cast<std::size_t>(b)],
+              image.bytes()[off + static_cast<std::size_t>(b)]);
+  }
+}
+
+}  // namespace
+}  // namespace satin::os

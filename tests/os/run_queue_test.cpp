@@ -1,0 +1,121 @@
+#include "os/run_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace satin::os {
+namespace {
+
+class DummyThread : public Thread {
+ public:
+  using Thread::Thread;
+  Action next_action(OsContext&) override { return ExitAction{}; }
+};
+
+TEST(RunQueue, EmptyByDefault) {
+  RunQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.peek(), nullptr);
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(RunQueue, RtOutranksCfs) {
+  RunQueue q;
+  DummyThread cfs("cfs"), rt("rt");
+  rt.set_policy(SchedPolicy::kRtFifo, 10);
+  q.enqueue(&cfs, 1);
+  q.enqueue(&rt, 2);
+  EXPECT_EQ(q.peek(), &rt);
+}
+
+TEST(RunQueue, HigherRtPriorityWins) {
+  RunQueue q;
+  DummyThread lo("lo"), hi("hi");
+  lo.set_policy(SchedPolicy::kRtFifo, 10);
+  hi.set_policy(SchedPolicy::kRtFifo, 99);
+  q.enqueue(&lo, 1);
+  q.enqueue(&hi, 2);
+  EXPECT_EQ(q.pop(), &hi);
+  EXPECT_EQ(q.pop(), &lo);
+}
+
+TEST(RunQueue, EqualRtPriorityIsFifo) {
+  RunQueue q;
+  DummyThread a("a"), b("b"), c("c");
+  for (DummyThread* t : {&a, &b, &c}) t->set_policy(SchedPolicy::kRtFifo, 50);
+  q.enqueue(&b, 2);
+  q.enqueue(&a, 1);
+  q.enqueue(&c, 3);
+  EXPECT_EQ(q.pop(), &a);
+  EXPECT_EQ(q.pop(), &b);
+  EXPECT_EQ(q.pop(), &c);
+}
+
+TEST(RunQueue, DoubleEnqueueThrows) {
+  RunQueue q;
+  DummyThread t("t");
+  q.enqueue(&t, 1);
+  EXPECT_THROW(q.enqueue(&t, 2), std::logic_error);
+}
+
+TEST(RunQueue, RemoveAndContains) {
+  RunQueue q;
+  DummyThread a("a"), b("b");
+  q.enqueue(&a, 1);
+  q.enqueue(&b, 2);
+  EXPECT_TRUE(q.contains(&a));
+  q.remove(&a);
+  EXPECT_FALSE(q.contains(&a));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop(), &b);
+}
+
+TEST(RunQueue, HasCfsAndRt) {
+  RunQueue q;
+  DummyThread cfs("cfs"), rt("rt");
+  rt.set_policy(SchedPolicy::kRtFifo, 1);
+  EXPECT_FALSE(q.has_cfs());
+  EXPECT_FALSE(q.has_rt());
+  q.enqueue(&cfs, 1);
+  EXPECT_TRUE(q.has_cfs());
+  EXPECT_FALSE(q.has_rt());
+  q.enqueue(&rt, 2);
+  EXPECT_TRUE(q.has_rt());
+}
+
+TEST(RunQueue, MinCfsVruntimeInfiniteWithoutCfs) {
+  RunQueue q;
+  EXPECT_EQ(q.min_cfs_vruntime(), std::numeric_limits<double>::infinity());
+}
+
+TEST(RunQueue, RtPreemptsPredicate) {
+  DummyThread cfs("cfs"), cfs2("cfs2"), rt_lo("lo"), rt_hi("hi");
+  rt_lo.set_policy(SchedPolicy::kRtFifo, 10);
+  rt_hi.set_policy(SchedPolicy::kRtFifo, 99);
+  EXPECT_TRUE(RunQueue::rt_preempts(rt_lo, cfs));
+  EXPECT_TRUE(RunQueue::rt_preempts(rt_hi, rt_lo));
+  EXPECT_FALSE(RunQueue::rt_preempts(rt_lo, rt_hi));
+  // Equal RT priority: FIFO, no preemption.
+  DummyThread rt_lo2("lo2");
+  rt_lo2.set_policy(SchedPolicy::kRtFifo, 10);
+  EXPECT_FALSE(RunQueue::rt_preempts(rt_lo2, rt_lo));
+  // CFS never "rt-preempts".
+  EXPECT_FALSE(RunQueue::rt_preempts(cfs2, cfs));
+  EXPECT_FALSE(RunQueue::rt_preempts(cfs, rt_lo));
+}
+
+TEST(Thread, DefaultsAndSetters) {
+  DummyThread t("worker");
+  EXPECT_EQ(t.name(), "worker");
+  EXPECT_EQ(t.policy(), SchedPolicy::kCfs);
+  EXPECT_EQ(t.state(), ThreadState::kNew);
+  EXPECT_FALSE(t.pinned_core().has_value());
+  t.pin_to_core(3);
+  EXPECT_EQ(t.pinned_core(), 3);
+  t.clear_pinning();
+  EXPECT_FALSE(t.pinned_core().has_value());
+  t.set_policy(SchedPolicy::kRtFifo, 99);
+  EXPECT_EQ(t.rt_priority(), 99);
+}
+
+}  // namespace
+}  // namespace satin::os

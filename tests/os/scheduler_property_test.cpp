@@ -1,0 +1,131 @@
+// Randomized scheduler invariants: under a chaotic mix of CFS/RT threads,
+// pinning, sleeping and secure-world stays, wall-clock time must be
+// conserved and the core-affinity contract must hold.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.h"
+#include "sim/rng.h"
+
+namespace satin::os {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+// A thread with randomized behavior: computes, sleeps, yields in a
+// seed-determined pattern; records every core it was dispatched on.
+class ChaosThread final : public Thread {
+ public:
+  ChaosThread(std::string name, std::uint64_t seed)
+      : Thread(std::move(name)), rng_(seed) {}
+
+  Action next_action(OsContext& ctx) override {
+    cores_seen_.insert(ctx.core);
+    switch (rng_.index(8)) {
+      case 0:
+        return SleepForAction{
+            Duration::from_us(rng_.uniform_int(50, 5000))};
+      case 1:
+        return YieldAction{};
+      default:
+        return ComputeAction{
+            Duration::from_us(rng_.uniform_int(10, 3000)), nullptr};
+    }
+  }
+
+  const std::set<hw::CoreId>& cores_seen() const { return cores_seen_; }
+
+ private:
+  sim::Rng rng_;
+  std::set<hw::CoreId> cores_seen_;
+};
+
+class SchedulerChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerChaos, TimeIsConservedAndAffinityHolds) {
+  scenario::ScenarioConfig config;
+  config.platform.seed = GetParam();
+  config.boot = false;
+  scenario::Scenario s(config);
+  sim::Rng rng(GetParam() ^ 0xC0FFEE);
+
+  std::vector<ChaosThread*> threads;
+  std::vector<std::optional<hw::CoreId>> pins;
+  for (int i = 0; i < 14; ++i) {
+    auto t = std::make_unique<ChaosThread>("chaos" + std::to_string(i),
+                                           rng.next_u64());
+    std::optional<hw::CoreId> pin;
+    if (rng.bernoulli(0.5)) {
+      pin = static_cast<hw::CoreId>(rng.index(6));
+      t->pin_to_core(*pin);
+    }
+    if (rng.bernoulli(0.25)) {
+      t->set_policy(SchedPolicy::kRtFifo,
+                    static_cast<int>(rng.uniform_int(1, 99)));
+    }
+    pins.push_back(pin);
+    threads.push_back(
+        static_cast<ChaosThread*>(s.os().add_thread(std::move(t))));
+  }
+  s.os().boot();
+
+  // Random secure stays on random cores throughout the run.
+  s.tsp().install_timer_service(
+      [&s, &rng](std::shared_ptr<hw::SecureSession> ss) {
+        const auto stay = Duration::from_us(rng.uniform_int(100, 8000));
+        s.engine().schedule_after(stay, [ss] { ss->complete(); });
+      });
+  for (int k = 0; k < 40; ++k) {
+    s.engine().schedule_at(
+        Time::from_ms(rng.uniform_int(1, 1990)), [&s, &rng] {
+          const auto core = static_cast<hw::CoreId>(rng.index(6));
+          if (!s.platform().core(core).in_secure_world()) {
+            s.platform().timer().program_secure(core, s.now());
+          }
+        });
+  }
+
+  const Time horizon = Time::from_sec(2);
+  s.run_until(horizon);
+
+  // (a) Affinity: a pinned thread must never have been dispatched on
+  // another core.
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    if (!pins[i]) continue;
+    for (hw::CoreId c : threads[i]->cores_seen()) {
+      EXPECT_EQ(c, *pins[i]) << threads[i]->name();
+    }
+  }
+
+  // (b) Conservation: thread CPU time + OS idle + secure occupancy covers
+  // the whole 6-core wall clock (small slack for stays straddling the
+  // horizon and in-flight actions).
+  double total_cpu_s = 0.0;
+  for (const ChaosThread* t : threads) total_cpu_s += t->cpu_time().sec();
+  double total_idle_s = 0.0;
+  double total_secure_s = 0.0;
+  for (int c = 0; c < 6; ++c) {
+    total_idle_s += s.os().idle_time(c).sec();
+    total_secure_s += s.platform().core(c).secure_time_total().sec();
+    // A core still in the secure world at the horizon contributes its
+    // open stay.
+    if (s.platform().core(c).in_secure_world()) total_secure_s += 8e-3;
+  }
+  const double wall_s = 6.0 * horizon.sec();
+  const double accounted = total_cpu_s + total_idle_s + total_secure_s;
+  EXPECT_NEAR(accounted, wall_s, 0.05 * wall_s)
+      << "cpu " << total_cpu_s << " idle " << total_idle_s << " secure "
+      << total_secure_s;
+
+  // (c) Sanity: every thread made progress, nobody starved outright.
+  for (const ChaosThread* t : threads) {
+    EXPECT_GT(t->cpu_time().sec(), 0.0) << t->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerChaos,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull, 55ull,
+                                           66ull));
+
+}  // namespace
+}  // namespace satin::os

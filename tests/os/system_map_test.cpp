@@ -1,0 +1,130 @@
+// The synthetic System.map must reproduce the paper's structural facts.
+#include "os/system_map.h"
+
+#include <gtest/gtest.h>
+
+namespace satin::os {
+namespace {
+
+TEST(DefaultMap, KernelStaticAreaMatchesPaper) {
+  // §IV-C: "the entire OS kernel whose size is 11916240 bytes".
+  const SystemMap map = make_default_map();
+  EXPECT_EQ(map.total_size(), 11'916'240u);
+}
+
+TEST(DefaultMap, NineteenRegions) {
+  // §VI-A2: "we divide the normal world's kernel into 19 areas".
+  EXPECT_EQ(make_default_map().region_count(), 19);
+}
+
+TEST(DefaultMap, LargestAndSmallestRegionMatchPaper) {
+  // §VI-A2: largest 876,616 B, smallest 431,360 B.
+  const SystemMap map = make_default_map();
+  std::size_t largest = 0;
+  std::size_t smallest = map.total_size();
+  for (int r = 0; r < map.region_count(); ++r) {
+    const auto e = map.region_extent(r);
+    largest = std::max(largest, e.size);
+    smallest = std::min(smallest, e.size);
+  }
+  EXPECT_EQ(largest, 876'616u);
+  EXPECT_EQ(smallest, 431'360u);
+}
+
+TEST(DefaultMap, EveryRegionBelowRaceBound) {
+  // §VI-A2: "for each area of the checking module, its size must be
+  // smaller than 1218351 bytes".
+  const SystemMap map = make_default_map();
+  for (int r = 0; r < map.region_count(); ++r) {
+    EXPECT_LT(map.region_extent(r).size, 1'218'351u) << "region " << r;
+  }
+}
+
+TEST(DefaultMap, RegionsAreContiguousAndCoverKernel) {
+  const SystemMap map = make_default_map();
+  std::size_t cursor = 0;
+  for (int r = 0; r < map.region_count(); ++r) {
+    const auto e = map.region_extent(r);
+    EXPECT_EQ(e.offset, cursor) << "region " << r;
+    cursor = e.end();
+  }
+  EXPECT_EQ(cursor, map.total_size());
+}
+
+TEST(DefaultMap, SyscallTableLivesInRegion14) {
+  // §VI-B1: the hijacked handler "resides in the area 14".
+  const SystemMap map = make_default_map();
+  const auto table = map.find_symbol("sys_call_table");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(map.region_of(table->offset), 14);
+  EXPECT_EQ(map.region_of(table->offset + table->size - 1), 14);
+  EXPECT_EQ(table->size,
+            static_cast<std::size_t>(kSyscallTableEntries) *
+                kSyscallEntryBytes);
+}
+
+TEST(DefaultMap, ExceptionVectorsLiveInRegion0) {
+  const SystemMap map = make_default_map();
+  const auto vectors = map.find_symbol("vectors");
+  ASSERT_TRUE(vectors.has_value());
+  EXPECT_EQ(map.region_of(vectors->offset), 0);
+  EXPECT_EQ(vectors->size, 2048u);
+}
+
+TEST(DefaultMap, SectionsStayWithinOneRegion) {
+  const SystemMap map = make_default_map();
+  for (const Section& s : map.sections()) {
+    EXPECT_EQ(map.region_of(s.offset), s.region) << s.name;
+    EXPECT_EQ(map.region_of(s.end() - 1), s.region) << s.name;
+  }
+}
+
+TEST(DefaultMap, TextPrecedesRodata) {
+  const SystemMap map = make_default_map();
+  const auto etext = map.find_symbol("_etext");
+  ASSERT_TRUE(etext.has_value());
+  const auto table = map.find_symbol("sys_call_table");
+  EXPECT_GT(table->offset, etext->offset);
+}
+
+TEST(DefaultMap, GettidSyscallNumberIsAarch64) {
+  EXPECT_EQ(kGettidSyscallNr, 178);  // AArch64 __NR_gettid
+}
+
+TEST(SystemMap, RegionOfRejectsOutsideOffsets) {
+  const SystemMap map = make_default_map();
+  EXPECT_THROW(map.region_of(map.total_size()), std::out_of_range);
+}
+
+TEST(SystemMap, FindSymbolMissingReturnsNullopt) {
+  EXPECT_FALSE(make_default_map().find_symbol("no_such_symbol").has_value());
+}
+
+TEST(SystemMap, RejectsNonContiguousSections) {
+  std::vector<Section> sections{
+      {"a", 0, 100, SectionKind::kText, 0},
+      {"b", 150, 100, SectionKind::kText, 0},  // gap at 100..150
+  };
+  EXPECT_THROW(SystemMap(sections, {}), std::invalid_argument);
+}
+
+TEST(SystemMap, RejectsUntaggedSections) {
+  std::vector<Section> sections{{"a", 0, 100, SectionKind::kText, -1}};
+  EXPECT_THROW(SystemMap(sections, {}), std::invalid_argument);
+}
+
+TEST(SystemMap, RejectsSplitRegions) {
+  std::vector<Section> sections{
+      {"a", 0, 100, SectionKind::kText, 0},
+      {"b", 100, 100, SectionKind::kText, 1},
+      {"c", 200, 100, SectionKind::kText, 0},  // region 0 resumes: invalid
+  };
+  EXPECT_THROW(SystemMap(sections, {}), std::invalid_argument);
+}
+
+TEST(SystemMap, RejectsEmpty) {
+  EXPECT_THROW(SystemMap({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace satin::os

@@ -1,0 +1,63 @@
+#include "secure/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace satin::secure {
+namespace {
+
+std::vector<std::uint8_t> ascii(const char* s) {
+  std::vector<std::uint8_t> out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    out.push_back(static_cast<std::uint8_t>(*p));
+  }
+  return out;
+}
+
+TEST(Hash, Djb2KnownValues) {
+  // djb2: h = 5381; h = h*33 + c.
+  EXPECT_EQ(hash_djb2({}), 5381u);
+  const auto a = ascii("a");
+  EXPECT_EQ(hash_djb2(a), 5381u * 33 + 'a');
+}
+
+TEST(Hash, Fnv1aKnownValues) {
+  EXPECT_EQ(hash_fnv1a({}), 14695981039346656037ull);
+  // FNV-1a("a") — published test vector.
+  const auto a = ascii("a");
+  EXPECT_EQ(hash_fnv1a(a), 0xAF63DC4C8601EC8Cull);
+}
+
+TEST(Hash, SdbmEmptyIsZero) { EXPECT_EQ(hash_sdbm({}), 0u); }
+
+TEST(Hash, SingleByteChangesDigest) {
+  std::vector<std::uint8_t> data(4096, 0x41);
+  const std::uint64_t d0 = hash_djb2(data);
+  const std::uint64_t f0 = hash_fnv1a(data);
+  const std::uint64_t s0 = hash_sdbm(data);
+  data[2048] ^= 0x01;
+  EXPECT_NE(hash_djb2(data), d0);
+  EXPECT_NE(hash_fnv1a(data), f0);
+  EXPECT_NE(hash_sdbm(data), s0);
+}
+
+TEST(Hash, OrderMatters) {
+  const auto ab = ascii("ab");
+  const auto ba = ascii("ba");
+  EXPECT_NE(hash_djb2(ab), hash_djb2(ba));
+}
+
+TEST(Hash, DispatcherMatchesDirectCalls) {
+  const auto data = ascii("satin");
+  EXPECT_EQ(hash_bytes(HashKind::kDjb2, data), hash_djb2(data));
+  EXPECT_EQ(hash_bytes(HashKind::kSdbm, data), hash_sdbm(data));
+  EXPECT_EQ(hash_bytes(HashKind::kFnv1a, data), hash_fnv1a(data));
+}
+
+TEST(Hash, KindNames) {
+  EXPECT_STREQ(to_string(HashKind::kDjb2), "djb2");
+  EXPECT_STREQ(to_string(HashKind::kSdbm), "sdbm");
+  EXPECT_STREQ(to_string(HashKind::kFnv1a), "fnv1a");
+}
+
+}  // namespace
+}  // namespace satin::secure

@@ -1,0 +1,165 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace satin::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), Time::zero());
+  EXPECT_EQ(engine.pending_count(), 0u);
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(Time::from_ns(30), [&] { order.push_back(3); });
+  engine.schedule_at(Time::from_ns(10), [&] { order.push_back(1); });
+  engine.schedule_at(Time::from_ns(20), [&] { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), Time::from_ns(30));
+}
+
+TEST(Engine, EqualTimesFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(Time::from_ns(10), [&order, i] { order.push_back(i); });
+  }
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, RunUntilAdvancesClockToDeadline) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(Time::from_ms(5), [&] { ++fired; });
+  engine.schedule_at(Time::from_ms(15), [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(Time::from_ms(10)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), Time::from_ms(10));
+  EXPECT_EQ(engine.run_until(Time::from_ms(20)), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventAtDeadlineBoundaryFires) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_at(Time::from_ms(10), [&] { fired = true; });
+  engine.run_until(Time::from_ms(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  Time seen;
+  engine.schedule_at(Time::from_ms(3), [&] {
+    engine.schedule_after(Duration::from_ms(4), [&] { seen = engine.now(); });
+  });
+  engine.run_all();
+  EXPECT_EQ(seen, Time::from_ms(7));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine engine;
+  engine.schedule_at(Time::from_ms(5), [] {});
+  engine.run_all();
+  EXPECT_THROW(engine.schedule_at(Time::from_ms(1), [] {}), std::logic_error);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  EventHandle handle =
+      engine.schedule_at(Time::from_ms(1), [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  engine.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFiringIsNoop) {
+  Engine engine;
+  EventHandle handle = engine.schedule_at(Time::from_ms(1), [] {});
+  engine.run_all();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no crash
+}
+
+TEST(Engine, HandleReportsWhen) {
+  Engine engine;
+  EventHandle handle = engine.schedule_at(Time::from_ms(9), [] {});
+  EXPECT_EQ(handle.when(), Time::from_ms(9));
+}
+
+TEST(Engine, PendingCountSkipsCancelled) {
+  Engine engine;
+  EventHandle a = engine.schedule_at(Time::from_ms(1), [] {});
+  engine.schedule_at(Time::from_ms(2), [] {});
+  a.cancel();
+  EXPECT_EQ(engine.pending_count(), 1u);
+}
+
+TEST(Engine, RequestStopEndsRunEarly) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(Time::from_ms(1), [&] {
+    ++fired;
+    engine.request_stop();
+  });
+  engine.schedule_at(Time::from_ms(2), [&] { ++fired; });
+  engine.run_all();
+  EXPECT_EQ(fired, 1);
+  engine.run_all();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, CallbackMayRescheduleItself) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) engine.schedule_after(Duration::from_ms(1), tick);
+  };
+  engine.schedule_at(Time::from_ms(1), tick);
+  engine.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(engine.now(), Time::from_ms(5));
+}
+
+TEST(Engine, StepFiresExactlyOne) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(Time::from_ms(1), [&] { ++fired; });
+  engine.schedule_at(Time::from_ms(2), [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventsFiredCounter) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) {
+    engine.schedule_at(Time::from_ms(i + 1), [] {});
+  }
+  engine.run_all();
+  EXPECT_EQ(engine.events_fired(), 7u);
+}
+
+TEST(Engine, CancelledEventDoesNotAdvanceClock) {
+  Engine engine;
+  EventHandle handle = engine.schedule_at(Time::from_ms(50), [] {});
+  handle.cancel();
+  engine.schedule_at(Time::from_ms(10), [] {});
+  engine.run_all();
+  EXPECT_EQ(engine.now(), Time::from_ms(10));
+}
+
+}  // namespace
+}  // namespace satin::sim

@@ -1,0 +1,144 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace satin::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministicByName) {
+  Rng a(7), b(7);
+  Rng fa = a.fork("introspector");
+  Rng fb = b.fork("introspector");
+  EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ForksWithDifferentNamesAreIndependent) {
+  Rng root(7);
+  Rng a = root.fork("a");
+  Rng b = root.fork("b");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.38e-6, 3.60e-6);
+    EXPECT_GE(u, 2.38e-6);
+    EXPECT_LT(u, 3.60e-6);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(9);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(6));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, TruncatedNormalStaysInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.truncated_normal(1.07e-8, 5e-10, 9.23e-9, 1.14e-8);
+    EXPECT_GE(x, 9.23e-9);
+    EXPECT_LE(x, 1.14e-8);
+  }
+}
+
+TEST(Rng, TruncatedNormalDegenerateClamps) {
+  Rng rng(5);
+  // Mean far outside [lo, hi]: must clamp, not loop forever.
+  const double x = rng.truncated_normal(10.0, 1e-12, 0.0, 1.0);
+  EXPECT_EQ(x, 1.0);
+}
+
+TEST(Rng, TriangularStaysInBounds) {
+  Rng rng(6);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.triangular(0.0, 1.0, 4.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 4.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000, (0.0 + 1.0 + 4.0) / 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, UniformDurationInclusiveBounds) {
+  Rng rng(11);
+  const Duration lo = Duration::from_us(1);
+  const Duration hi = Duration::from_us(2);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = rng.uniform_duration(lo, hi);
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, hi);
+  }
+}
+
+TEST(Rng, PickReturnsElements) {
+  Rng rng(12);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(13);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v.begin(), v.end());
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(-8.0, 0.55), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace satin::sim

@@ -1,0 +1,51 @@
+// End-to-end smoke: the full stack assembles, SATIN runs rounds, the
+// evader probes and hides, and the headline dynamics hold on a short run.
+#include <gtest/gtest.h>
+
+#include "scenario/experiments.h"
+
+namespace satin {
+namespace {
+
+TEST(Smoke, SatinCatchesEvaderOnShortRun) {
+  scenario::Scenario scenario;
+  scenario::DuelConfig duel;
+  duel.satin.tgoal_s = 38.0;  // tp = 2 s: a fast cycle for the smoke test
+  duel.rounds_target = 40;    // ~2 full cycles
+  const auto report = scenario::run_duel(scenario, duel);
+
+  EXPECT_GE(report.rounds, 40u);
+  EXPECT_GE(report.full_cycles, 1u);
+  EXPECT_EQ(report.target_area, 14);
+  EXPECT_GE(report.target_area_rounds, 2u);
+  // SATIN's area bound beats the evader every time it scans area 14.
+  EXPECT_TRUE(report.satin_always_caught())
+      << "alarms " << report.target_area_alarms << "/"
+      << report.target_area_rounds;
+  // The prober notices every introspection round (0 FP / 0 FN).
+  EXPECT_EQ(report.false_positives, 0u);
+  EXPECT_EQ(report.false_negatives, 0u);
+  EXPECT_EQ(report.secure_stays, report.rounds);
+}
+
+TEST(Smoke, EvaderBeatsPkmBaselineOnShortRun) {
+  scenario::Scenario scenario;
+  scenario::DuelConfig duel;
+  duel.satin = core::make_pkm_baseline_config(/*period_s=*/2.0,
+                                              /*random_core=*/true,
+                                              /*random_time=*/true);
+  duel.rounds_target = 10;
+  const auto report = scenario::run_duel(scenario, duel);
+
+  EXPECT_GE(report.rounds, 10u);
+  EXPECT_EQ(report.target_area, 0);  // single whole-kernel area
+  EXPECT_EQ(report.target_area_rounds, report.rounds);
+  // The hijacked entry sits ~9.5 MB into the scan; the evader hides in
+  // <10 ms — every full-kernel pass misses it.
+  EXPECT_TRUE(report.evader_always_escaped())
+      << "alarms " << report.target_area_alarms;
+  EXPECT_EQ(report.false_negatives, 0u);
+}
+
+}  // namespace
+}  // namespace satin
