@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_satin_detection.dir/bench_satin_detection.cpp.o"
+  "CMakeFiles/bench_satin_detection.dir/bench_satin_detection.cpp.o.d"
+  "bench_satin_detection"
+  "bench_satin_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_satin_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

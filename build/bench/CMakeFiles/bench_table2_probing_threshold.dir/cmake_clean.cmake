@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_probing_threshold.dir/bench_table2_probing_threshold.cpp.o"
+  "CMakeFiles/bench_table2_probing_threshold.dir/bench_table2_probing_threshold.cpp.o.d"
+  "bench_table2_probing_threshold"
+  "bench_table2_probing_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_probing_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tswitch_recovery.dir/bench_tswitch_recovery.cpp.o"
+  "CMakeFiles/bench_tswitch_recovery.dir/bench_tswitch_recovery.cpp.o.d"
+  "bench_tswitch_recovery"
+  "bench_tswitch_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tswitch_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_userprober.dir/bench_userprober.cpp.o"
+  "CMakeFiles/bench_userprober.dir/bench_userprober.cpp.o.d"
+  "bench_userprober"
+  "bench_userprober.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_userprober.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_attack.dir/evasion_attack.cpp.o"
+  "CMakeFiles/evasion_attack.dir/evasion_attack.cpp.o.d"
+  "evasion_attack"
+  "evasion_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satin_defense.dir/satin_defense.cpp.o"
+  "CMakeFiles/satin_defense.dir/satin_defense.cpp.o.d"
+  "satin_defense"
+  "satin_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satin_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

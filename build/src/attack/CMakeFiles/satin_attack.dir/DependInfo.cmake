@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/evader.cpp" "src/attack/CMakeFiles/satin_attack.dir/evader.cpp.o" "gcc" "src/attack/CMakeFiles/satin_attack.dir/evader.cpp.o.d"
+  "/root/repo/src/attack/predictor.cpp" "src/attack/CMakeFiles/satin_attack.dir/predictor.cpp.o" "gcc" "src/attack/CMakeFiles/satin_attack.dir/predictor.cpp.o.d"
+  "/root/repo/src/attack/prober.cpp" "src/attack/CMakeFiles/satin_attack.dir/prober.cpp.o" "gcc" "src/attack/CMakeFiles/satin_attack.dir/prober.cpp.o.d"
+  "/root/repo/src/attack/rootkit.cpp" "src/attack/CMakeFiles/satin_attack.dir/rootkit.cpp.o" "gcc" "src/attack/CMakeFiles/satin_attack.dir/rootkit.cpp.o.d"
+  "/root/repo/src/attack/threshold_learner.cpp" "src/attack/CMakeFiles/satin_attack.dir/threshold_learner.cpp.o" "gcc" "src/attack/CMakeFiles/satin_attack.dir/threshold_learner.cpp.o.d"
+  "/root/repo/src/attack/threshold_sampler.cpp" "src/attack/CMakeFiles/satin_attack.dir/threshold_sampler.cpp.o" "gcc" "src/attack/CMakeFiles/satin_attack.dir/threshold_sampler.cpp.o.d"
+  "/root/repo/src/attack/time_buffer.cpp" "src/attack/CMakeFiles/satin_attack.dir/time_buffer.cpp.o" "gcc" "src/attack/CMakeFiles/satin_attack.dir/time_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/satin_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/satin_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/satin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

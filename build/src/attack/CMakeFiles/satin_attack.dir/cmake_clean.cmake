@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satin_attack.dir/evader.cpp.o"
+  "CMakeFiles/satin_attack.dir/evader.cpp.o.d"
+  "CMakeFiles/satin_attack.dir/predictor.cpp.o"
+  "CMakeFiles/satin_attack.dir/predictor.cpp.o.d"
+  "CMakeFiles/satin_attack.dir/prober.cpp.o"
+  "CMakeFiles/satin_attack.dir/prober.cpp.o.d"
+  "CMakeFiles/satin_attack.dir/rootkit.cpp.o"
+  "CMakeFiles/satin_attack.dir/rootkit.cpp.o.d"
+  "CMakeFiles/satin_attack.dir/threshold_learner.cpp.o"
+  "CMakeFiles/satin_attack.dir/threshold_learner.cpp.o.d"
+  "CMakeFiles/satin_attack.dir/threshold_sampler.cpp.o"
+  "CMakeFiles/satin_attack.dir/threshold_sampler.cpp.o.d"
+  "CMakeFiles/satin_attack.dir/time_buffer.cpp.o"
+  "CMakeFiles/satin_attack.dir/time_buffer.cpp.o.d"
+  "libsatin_attack.a"
+  "libsatin_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satin_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_set.cpp" "src/core/CMakeFiles/satin_core.dir/area_set.cpp.o" "gcc" "src/core/CMakeFiles/satin_core.dir/area_set.cpp.o.d"
+  "/root/repo/src/core/areas.cpp" "src/core/CMakeFiles/satin_core.dir/areas.cpp.o" "gcc" "src/core/CMakeFiles/satin_core.dir/areas.cpp.o.d"
+  "/root/repo/src/core/integrity_checker.cpp" "src/core/CMakeFiles/satin_core.dir/integrity_checker.cpp.o" "gcc" "src/core/CMakeFiles/satin_core.dir/integrity_checker.cpp.o.d"
+  "/root/repo/src/core/race_model.cpp" "src/core/CMakeFiles/satin_core.dir/race_model.cpp.o" "gcc" "src/core/CMakeFiles/satin_core.dir/race_model.cpp.o.d"
+  "/root/repo/src/core/satin.cpp" "src/core/CMakeFiles/satin_core.dir/satin.cpp.o" "gcc" "src/core/CMakeFiles/satin_core.dir/satin.cpp.o.d"
+  "/root/repo/src/core/wakeup_queue.cpp" "src/core/CMakeFiles/satin_core.dir/wakeup_queue.cpp.o" "gcc" "src/core/CMakeFiles/satin_core.dir/wakeup_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/secure/CMakeFiles/satin_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/satin_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/satin_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/satin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satin_core.dir/area_set.cpp.o"
+  "CMakeFiles/satin_core.dir/area_set.cpp.o.d"
+  "CMakeFiles/satin_core.dir/areas.cpp.o"
+  "CMakeFiles/satin_core.dir/areas.cpp.o.d"
+  "CMakeFiles/satin_core.dir/integrity_checker.cpp.o"
+  "CMakeFiles/satin_core.dir/integrity_checker.cpp.o.d"
+  "CMakeFiles/satin_core.dir/race_model.cpp.o"
+  "CMakeFiles/satin_core.dir/race_model.cpp.o.d"
+  "CMakeFiles/satin_core.dir/satin.cpp.o"
+  "CMakeFiles/satin_core.dir/satin.cpp.o.d"
+  "CMakeFiles/satin_core.dir/wakeup_queue.cpp.o"
+  "CMakeFiles/satin_core.dir/wakeup_queue.cpp.o.d"
+  "libsatin_core.a"
+  "libsatin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsatin_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/core.cpp" "src/hw/CMakeFiles/satin_hw.dir/core.cpp.o" "gcc" "src/hw/CMakeFiles/satin_hw.dir/core.cpp.o.d"
+  "/root/repo/src/hw/generic_timer.cpp" "src/hw/CMakeFiles/satin_hw.dir/generic_timer.cpp.o" "gcc" "src/hw/CMakeFiles/satin_hw.dir/generic_timer.cpp.o.d"
+  "/root/repo/src/hw/interrupt_controller.cpp" "src/hw/CMakeFiles/satin_hw.dir/interrupt_controller.cpp.o" "gcc" "src/hw/CMakeFiles/satin_hw.dir/interrupt_controller.cpp.o.d"
+  "/root/repo/src/hw/memory.cpp" "src/hw/CMakeFiles/satin_hw.dir/memory.cpp.o" "gcc" "src/hw/CMakeFiles/satin_hw.dir/memory.cpp.o.d"
+  "/root/repo/src/hw/platform.cpp" "src/hw/CMakeFiles/satin_hw.dir/platform.cpp.o" "gcc" "src/hw/CMakeFiles/satin_hw.dir/platform.cpp.o.d"
+  "/root/repo/src/hw/secure_monitor.cpp" "src/hw/CMakeFiles/satin_hw.dir/secure_monitor.cpp.o" "gcc" "src/hw/CMakeFiles/satin_hw.dir/secure_monitor.cpp.o.d"
+  "/root/repo/src/hw/timing_params.cpp" "src/hw/CMakeFiles/satin_hw.dir/timing_params.cpp.o" "gcc" "src/hw/CMakeFiles/satin_hw.dir/timing_params.cpp.o.d"
+  "/root/repo/src/hw/types.cpp" "src/hw/CMakeFiles/satin_hw.dir/types.cpp.o" "gcc" "src/hw/CMakeFiles/satin_hw.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/satin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satin_hw.dir/core.cpp.o"
+  "CMakeFiles/satin_hw.dir/core.cpp.o.d"
+  "CMakeFiles/satin_hw.dir/generic_timer.cpp.o"
+  "CMakeFiles/satin_hw.dir/generic_timer.cpp.o.d"
+  "CMakeFiles/satin_hw.dir/interrupt_controller.cpp.o"
+  "CMakeFiles/satin_hw.dir/interrupt_controller.cpp.o.d"
+  "CMakeFiles/satin_hw.dir/memory.cpp.o"
+  "CMakeFiles/satin_hw.dir/memory.cpp.o.d"
+  "CMakeFiles/satin_hw.dir/platform.cpp.o"
+  "CMakeFiles/satin_hw.dir/platform.cpp.o.d"
+  "CMakeFiles/satin_hw.dir/secure_monitor.cpp.o"
+  "CMakeFiles/satin_hw.dir/secure_monitor.cpp.o.d"
+  "CMakeFiles/satin_hw.dir/timing_params.cpp.o"
+  "CMakeFiles/satin_hw.dir/timing_params.cpp.o.d"
+  "CMakeFiles/satin_hw.dir/types.cpp.o"
+  "CMakeFiles/satin_hw.dir/types.cpp.o.d"
+  "libsatin_hw.a"
+  "libsatin_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satin_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

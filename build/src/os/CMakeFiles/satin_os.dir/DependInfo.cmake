@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel_image.cpp" "src/os/CMakeFiles/satin_os.dir/kernel_image.cpp.o" "gcc" "src/os/CMakeFiles/satin_os.dir/kernel_image.cpp.o.d"
+  "/root/repo/src/os/rich_os.cpp" "src/os/CMakeFiles/satin_os.dir/rich_os.cpp.o" "gcc" "src/os/CMakeFiles/satin_os.dir/rich_os.cpp.o.d"
+  "/root/repo/src/os/run_queue.cpp" "src/os/CMakeFiles/satin_os.dir/run_queue.cpp.o" "gcc" "src/os/CMakeFiles/satin_os.dir/run_queue.cpp.o.d"
+  "/root/repo/src/os/system_map.cpp" "src/os/CMakeFiles/satin_os.dir/system_map.cpp.o" "gcc" "src/os/CMakeFiles/satin_os.dir/system_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/satin_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/satin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

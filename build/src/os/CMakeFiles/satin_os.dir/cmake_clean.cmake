@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satin_os.dir/kernel_image.cpp.o"
+  "CMakeFiles/satin_os.dir/kernel_image.cpp.o.d"
+  "CMakeFiles/satin_os.dir/rich_os.cpp.o"
+  "CMakeFiles/satin_os.dir/rich_os.cpp.o.d"
+  "CMakeFiles/satin_os.dir/run_queue.cpp.o"
+  "CMakeFiles/satin_os.dir/run_queue.cpp.o.d"
+  "CMakeFiles/satin_os.dir/system_map.cpp.o"
+  "CMakeFiles/satin_os.dir/system_map.cpp.o.d"
+  "libsatin_os.a"
+  "libsatin_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satin_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satin_scenario.dir/experiments.cpp.o"
+  "CMakeFiles/satin_scenario.dir/experiments.cpp.o.d"
+  "CMakeFiles/satin_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/satin_scenario.dir/scenario.cpp.o.d"
+  "libsatin_scenario.a"
+  "libsatin_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satin_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secure/authorized_store.cpp" "src/secure/CMakeFiles/satin_secure.dir/authorized_store.cpp.o" "gcc" "src/secure/CMakeFiles/satin_secure.dir/authorized_store.cpp.o.d"
+  "/root/repo/src/secure/hash.cpp" "src/secure/CMakeFiles/satin_secure.dir/hash.cpp.o" "gcc" "src/secure/CMakeFiles/satin_secure.dir/hash.cpp.o.d"
+  "/root/repo/src/secure/introspect.cpp" "src/secure/CMakeFiles/satin_secure.dir/introspect.cpp.o" "gcc" "src/secure/CMakeFiles/satin_secure.dir/introspect.cpp.o.d"
+  "/root/repo/src/secure/tsp.cpp" "src/secure/CMakeFiles/satin_secure.dir/tsp.cpp.o" "gcc" "src/secure/CMakeFiles/satin_secure.dir/tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/satin_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/satin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satin_secure.dir/authorized_store.cpp.o"
+  "CMakeFiles/satin_secure.dir/authorized_store.cpp.o.d"
+  "CMakeFiles/satin_secure.dir/hash.cpp.o"
+  "CMakeFiles/satin_secure.dir/hash.cpp.o.d"
+  "CMakeFiles/satin_secure.dir/introspect.cpp.o"
+  "CMakeFiles/satin_secure.dir/introspect.cpp.o.d"
+  "CMakeFiles/satin_secure.dir/tsp.cpp.o"
+  "CMakeFiles/satin_secure.dir/tsp.cpp.o.d"
+  "libsatin_secure.a"
+  "libsatin_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satin_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

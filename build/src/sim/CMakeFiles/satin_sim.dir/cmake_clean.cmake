@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satin_sim.dir/engine.cpp.o"
+  "CMakeFiles/satin_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/satin_sim.dir/log.cpp.o"
+  "CMakeFiles/satin_sim.dir/log.cpp.o.d"
+  "CMakeFiles/satin_sim.dir/rng.cpp.o"
+  "CMakeFiles/satin_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/satin_sim.dir/stats.cpp.o"
+  "CMakeFiles/satin_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/satin_sim.dir/time.cpp.o"
+  "CMakeFiles/satin_sim.dir/time.cpp.o.d"
+  "libsatin_sim.a"
+  "libsatin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

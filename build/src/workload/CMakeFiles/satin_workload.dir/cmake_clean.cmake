@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satin_workload.dir/unixbench.cpp.o"
+  "CMakeFiles/satin_workload.dir/unixbench.cpp.o.d"
+  "libsatin_workload.a"
+  "libsatin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_evader_test.dir/attack/evader_test.cpp.o"
+  "CMakeFiles/attack_evader_test.dir/attack/evader_test.cpp.o.d"
+  "attack_evader_test"
+  "attack_evader_test.pdb"
+  "attack_evader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_evader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

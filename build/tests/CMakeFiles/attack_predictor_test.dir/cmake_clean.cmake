@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_predictor_test.dir/attack/predictor_test.cpp.o"
+  "CMakeFiles/attack_predictor_test.dir/attack/predictor_test.cpp.o.d"
+  "attack_predictor_test"
+  "attack_predictor_test.pdb"
+  "attack_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_prober_test.dir/attack/prober_test.cpp.o"
+  "CMakeFiles/attack_prober_test.dir/attack/prober_test.cpp.o.d"
+  "attack_prober_test"
+  "attack_prober_test.pdb"
+  "attack_prober_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_prober_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_rootkit_test.dir/attack/rootkit_test.cpp.o"
+  "CMakeFiles/attack_rootkit_test.dir/attack/rootkit_test.cpp.o.d"
+  "attack_rootkit_test"
+  "attack_rootkit_test.pdb"
+  "attack_rootkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_rootkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_threshold_learner_test.dir/attack/threshold_learner_test.cpp.o"
+  "CMakeFiles/attack_threshold_learner_test.dir/attack/threshold_learner_test.cpp.o.d"
+  "attack_threshold_learner_test"
+  "attack_threshold_learner_test.pdb"
+  "attack_threshold_learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_threshold_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_time_buffer_test.dir/attack/time_buffer_test.cpp.o"
+  "CMakeFiles/attack_time_buffer_test.dir/attack/time_buffer_test.cpp.o.d"
+  "attack_time_buffer_test"
+  "attack_time_buffer_test.pdb"
+  "attack_time_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_time_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_area_set_test.dir/core/area_set_test.cpp.o"
+  "CMakeFiles/core_area_set_test.dir/core/area_set_test.cpp.o.d"
+  "core_area_set_test"
+  "core_area_set_test.pdb"
+  "core_area_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_area_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_areas_test.dir/core/areas_test.cpp.o"
+  "CMakeFiles/core_areas_test.dir/core/areas_test.cpp.o.d"
+  "core_areas_test"
+  "core_areas_test.pdb"
+  "core_areas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_areas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

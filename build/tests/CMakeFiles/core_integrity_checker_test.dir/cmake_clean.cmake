@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_integrity_checker_test.dir/core/integrity_checker_test.cpp.o"
+  "CMakeFiles/core_integrity_checker_test.dir/core/integrity_checker_test.cpp.o.d"
+  "core_integrity_checker_test"
+  "core_integrity_checker_test.pdb"
+  "core_integrity_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_integrity_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_satin_test.dir/core/satin_test.cpp.o"
+  "CMakeFiles/core_satin_test.dir/core/satin_test.cpp.o.d"
+  "core_satin_test"
+  "core_satin_test.pdb"
+  "core_satin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_satin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

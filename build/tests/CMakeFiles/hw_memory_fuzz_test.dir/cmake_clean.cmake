@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_memory_fuzz_test.dir/hw/memory_fuzz_test.cpp.o"
+  "CMakeFiles/hw_memory_fuzz_test.dir/hw/memory_fuzz_test.cpp.o.d"
+  "hw_memory_fuzz_test"
+  "hw_memory_fuzz_test.pdb"
+  "hw_memory_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_memory_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/platform_test.cpp" "tests/CMakeFiles/hw_platform_test.dir/hw/platform_test.cpp.o" "gcc" "tests/CMakeFiles/hw_platform_test.dir/hw/platform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/satin_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/satin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/satin_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/satin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/satin_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/satin_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/satin_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/satin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_timing_params_test.dir/hw/timing_params_test.cpp.o"
+  "CMakeFiles/hw_timing_params_test.dir/hw/timing_params_test.cpp.o.d"
+  "hw_timing_params_test"
+  "hw_timing_params_test.pdb"
+  "hw_timing_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_timing_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

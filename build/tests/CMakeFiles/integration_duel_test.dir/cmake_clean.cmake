@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_duel_test.dir/integration/duel_test.cpp.o"
+  "CMakeFiles/integration_duel_test.dir/integration/duel_test.cpp.o.d"
+  "integration_duel_test"
+  "integration_duel_test.pdb"
+  "integration_duel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_duel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_seed_sweep_test.dir/integration/seed_sweep_test.cpp.o"
+  "CMakeFiles/integration_seed_sweep_test.dir/integration/seed_sweep_test.cpp.o.d"
+  "integration_seed_sweep_test"
+  "integration_seed_sweep_test.pdb"
+  "integration_seed_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_seed_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_run_queue_test.dir/os/run_queue_test.cpp.o"
+  "CMakeFiles/os_run_queue_test.dir/os/run_queue_test.cpp.o.d"
+  "os_run_queue_test"
+  "os_run_queue_test.pdb"
+  "os_run_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_run_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

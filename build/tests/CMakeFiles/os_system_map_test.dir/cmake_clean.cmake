@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_system_map_test.dir/os/system_map_test.cpp.o"
+  "CMakeFiles/os_system_map_test.dir/os/system_map_test.cpp.o.d"
+  "os_system_map_test"
+  "os_system_map_test.pdb"
+  "os_system_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_system_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

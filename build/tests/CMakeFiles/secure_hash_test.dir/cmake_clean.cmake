@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_hash_test.dir/secure/hash_test.cpp.o"
+  "CMakeFiles/secure_hash_test.dir/secure/hash_test.cpp.o.d"
+  "secure_hash_test"
+  "secure_hash_test.pdb"
+  "secure_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_introspect_test.dir/secure/introspect_test.cpp.o"
+  "CMakeFiles/secure_introspect_test.dir/secure/introspect_test.cpp.o.d"
+  "secure_introspect_test"
+  "secure_introspect_test.pdb"
+  "secure_introspect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_introspect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_unixbench_test.dir/workload/unixbench_test.cpp.o"
+  "CMakeFiles/workload_unixbench_test.dir/workload/unixbench_test.cpp.o.d"
+  "workload_unixbench_test"
+  "workload_unixbench_test.pdb"
+  "workload_unixbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_unixbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
