@@ -10,7 +10,8 @@
 #include "os/system_map.h"
 #include "scenario/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   const std::size_t bound =
       core::max_safe_area_bytes(core::worst_case_params(hw::TimingParams{}));

@@ -39,7 +39,8 @@ std::pair<std::uint64_t, std::uint64_t> oracle_attack(bool randomize_wake,
 }  // namespace
 }  // namespace satin
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   bench::heading("Ablation: randomization knobs");
 

@@ -126,7 +126,8 @@ void print_timeline(const char* title, const Timeline& tl) {
 }  // namespace
 }  // namespace satin
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   bench::heading("Fig. 3: the race, measured (times relative to t_start, s)");
 

@@ -7,7 +7,8 @@
 #include "bench/common.h"
 #include "sim/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   hw::TimingParams timing;
   attack::ThresholdSampler sampler(timing.cross_core, sim::Rng(4), 6);

@@ -48,7 +48,8 @@ void run_case(int copies, double paper_overall) {
 }  // namespace
 }  // namespace satin
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   bench::heading("Fig. 7: SATIN overhead, mini-UnixBench");
   run_case(1, 0.711);

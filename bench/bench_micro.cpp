@@ -3,6 +3,7 @@
 // throughput, TOCTTOU scan bookkeeping.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
 #include "hw/memory.h"
 #include "secure/hash.h"
 #include "sim/engine.h"
@@ -83,4 +84,13 @@ BENCHMARK(BM_ScanBeginFinish);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so --trace/--metrics are stripped before
+// benchmark::Initialize sees them (it rejects unknown flags).
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -64,7 +64,8 @@ bool baseline_catches_trace_at(std::size_t offset) {
 }  // namespace
 }  // namespace satin
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   hw::TimingParams timing;
 

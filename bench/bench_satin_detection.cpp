@@ -9,7 +9,8 @@
 #include "bench/common.h"
 #include "scenario/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   scenario::Scenario scenario;
   scenario::DuelConfig duel;  // defaults ARE the paper configuration

@@ -36,7 +36,8 @@ Row measure(scenario::Scenario& s, hw::CoreId core,
 }  // namespace
 }  // namespace satin
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   scenario::Scenario s;
 

@@ -29,7 +29,8 @@ const PaperRow kPaper[] = {
 }  // namespace
 }  // namespace satin
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   hw::TimingParams timing;
 

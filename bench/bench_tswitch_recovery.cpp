@@ -8,7 +8,8 @@
 #include "scenario/scenario.h"
 #include "sim/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   scenario::Scenario s;
 

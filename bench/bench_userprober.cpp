@@ -68,7 +68,8 @@ ProbeOutcome measure(bool with_load, double threshold_s) {
 }  // namespace
 }  // namespace satin
 
-int main() {
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   bench::heading("User-level prober detection delay Tns_delay (§III-B1)");
 

@@ -3,13 +3,21 @@
 // Every bench prints the paper's rows next to the simulator's, so the
 // shape comparison (who wins, by what factor, where crossovers fall) is
 // visible at a glance; EXPERIMENTS.md records the same numbers.
+// Every bench also accepts --trace=<file> / --metrics=<file>: declare an
+// ObsGuard first thing in main and the flags are consumed from argv, a
+// global TraceRecorder/MetricsRegistry is installed for the run, and the
+// files are written when the guard goes out of scope.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "obs/session.h"
+
 namespace satin::bench {
+
+using ObsGuard = obs::ObsSession;
 
 inline void heading(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());

@@ -6,21 +6,23 @@
 // channel and hides its traces while the scan is still crawling toward
 // them. Run with -v for the play-by-play narration.
 //
-//   $ ./examples/evasion_attack [-v]
+//   $ ./examples/evasion_attack [-v] [--trace=out.json]
 #include <cstdio>
 #include <cstring>
 
 #include "core/satin.h"
+#include "obs/session.h"
 #include "scenario/experiments.h"
 #include "sim/log.h"
 
 int main(int argc, char** argv) {
   using namespace satin;
+
+  scenario::Scenario system;
+  obs::ObsSession obs(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "-v") == 0) {
     sim::set_log_level(sim::LogLevel::kInfo);
   }
-
-  scenario::Scenario system;
   scenario::DuelConfig duel;
   duel.satin = core::make_pkm_baseline_config(/*period_s=*/4.0,
                                               /*random_core=*/true,
@@ -51,5 +53,6 @@ int main(int argc, char** argv) {
                     "after the scan starts.\n(~90% of the kernel is "
                     "unprotected this way — §IV-C)"
                   : "unexpected: the baseline caught the evader");
+  obs.flush(&system.engine());
   return report.evader_always_escaped() ? 0 : 1;
 }

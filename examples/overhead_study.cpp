@@ -4,10 +4,11 @@
 // self-activation and prints the per-program degradation. The full-suite
 // 1-task/6-task reproduction lives in bench/bench_fig7_overhead.
 //
-//   $ ./examples/overhead_study
+//   $ ./examples/overhead_study [--trace=out.json]
 #include <cstdio>
 
 #include "core/satin.h"
+#include "obs/session.h"
 #include "scenario/scenario.h"
 #include "workload/unixbench.h"
 
@@ -26,8 +27,11 @@ std::vector<satin::workload::UnixBenchHarness::Result> run(bool with_satin) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace satin;
+  // Both runs share one trace; their engines each start at t=0, so the
+  // two passes overlay on the same timeline.
+  obs::ObsSession obs(argc, argv);
   std::printf("running mini-UnixBench twice (without / with SATIN)...\n\n");
   const auto rows = workload::compare_runs(run(false), run(true));
   std::printf("%-20s %14s %14s %10s\n", "program", "baseline", "with SATIN",
@@ -42,5 +46,6 @@ int main() {
       "\nthe rich OS never fully stops: one core pays a few ms per round\n"
       "while the other five keep running (paper: 0.711%% / 0.848%% overall,\n"
       "worst bars file copy 256B and context switching).\n");
+  obs.flush();
   return 0;
 }

@@ -2,20 +2,22 @@
 // start SATIN in the secure world, plant a kernel rootkit, and watch the
 // integrity checker catch it.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [--trace=out.json] [--metrics=out.metrics.json]
 #include <cstdio>
 
 #include "attack/rootkit.h"
 #include "core/satin.h"
+#include "obs/session.h"
 #include "os/system_map.h"
 #include "scenario/scenario.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace satin;
 
   // 1. The whole platform in one line: 4x A53 + 2x A57, TrustZone worlds,
   //    generic timers, GIC, physical memory, booted lsk-4.4-like kernel.
   scenario::Scenario system;
+  obs::ObsSession obs(argc, argv);
   std::printf("booted: %d cores, %zu-byte kernel, %d System.map regions\n",
               system.platform().num_cores(), system.kernel().size(),
               system.kernel().map().region_count());
@@ -60,5 +62,6 @@ int main() {
   std::printf("%s\n", satin.alarm_count() > 0
                           ? "rootkit detected — quickstart OK"
                           : "NO ALARM — something is wrong");
+  obs.flush(&system.engine());
   return satin.alarm_count() > 0 ? 0 : 1;
 }

@@ -6,20 +6,22 @@
 // its recovery finishes (~8 ms), the area containing its traces has been
 // fully hashed. Run with -v for the narration.
 //
-//   $ ./examples/satin_defense [-v]
+//   $ ./examples/satin_defense [-v] [--trace=out.json]
 #include <cstdio>
 #include <cstring>
 
+#include "obs/session.h"
 #include "scenario/experiments.h"
 #include "sim/log.h"
 
 int main(int argc, char** argv) {
   using namespace satin;
+
+  scenario::Scenario system;
+  obs::ObsSession obs(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "-v") == 0) {
     sim::set_log_level(sim::LogLevel::kInfo);
   }
-
-  scenario::Scenario system;
   scenario::DuelConfig duel;
   duel.satin.tgoal_s = 57.0;  // tp = 3 s for a brisk demo
   duel.rounds_target = 57;    // three full kernel cycles
@@ -50,5 +52,6 @@ int main(int argc, char** argv) {
                     "recovery always lost the race (§VI-B1: 'all the recovery "
                     "efforts fail')."
                   : "unexpected: the evader escaped SATIN");
+  obs.flush(&system.engine());
   return report.satin_always_caught() ? 0 : 1;
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure (ASan by default), build, run the full test
+# suite, then smoke-test the quickstart trace/metrics export and validate
+# the emitted JSON. Run from anywhere; builds into <repo>/build-check.
+#
+#   scripts/check_tier1.sh              # ASan build + tests + trace smoke
+#   SATIN_SANITIZE= scripts/check_tier1.sh   # plain build
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build-check}"
+sanitize="${SATIN_SANITIZE-address}"
+
+echo "== configure (SATIN_SANITIZE='$sanitize') =="
+cmake -B "$build" -S "$repo" -DSATIN_SANITIZE="$sanitize" >/dev/null
+
+echo "== build =="
+cmake --build "$build" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+echo "== quickstart --trace smoke =="
+out="$build/quickstart.trace.json"
+rm -f "$out" "$out.jsonl" "$out.metrics.json"
+"$build/examples/quickstart" --trace="$out" >/dev/null
+
+for f in "$out" "$out.metrics.json"; do
+  [ -s "$f" ] || { echo "missing $f" >&2; exit 1; }
+  python3 -m json.tool "$f" >/dev/null || { echo "invalid JSON: $f" >&2; exit 1; }
+done
+[ -s "$out.jsonl" ] || { echo "missing $out.jsonl" >&2; exit 1; }
+
+python3 - "$out" "$out.metrics.json" <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+spans = [e for e in events if e.get("ph") in ("B", "E")]
+names = {e["name"] for e in events}
+assert {"world_switch_in", "world_switch_out", "scan"} <= names, names
+for name in ("world_switch_in", "scan"):
+    per_tid = {}
+    for e in spans:
+        if e["name"] == name:
+            b, end = per_tid.get(e["tid"], (0, 0))
+            per_tid[e["tid"]] = (b + (e["ph"] == "B"), end + (e["ph"] == "E"))
+    assert per_tid, f"no {name} spans"
+    for tid, (b, end) in per_tid.items():
+        assert abs(b - end) <= 1, (name, tid, b, end)
+
+metrics = json.load(open(sys.argv[2]))
+counters = metrics["counters"]
+assert counters.get("introspect.scans", 0) > 0, counters
+assert counters.get("satin.detections", 0) > 0, counters
+print(f"trace OK: {len(events)} events, "
+      f"{counters['introspect.scans']} scans, "
+      f"{counters['satin.detections']} detections")
+EOF
+
+echo "tier-1 check: PASS"

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace satin::attack {
@@ -49,6 +51,9 @@ void TzEvader::on_detect(hw::CoreId core, sim::Time when,
   if (observer_) observer_(core, when, staleness);
   if (!rootkit_.installed() || rootkit_.recovering()) return;
   ++evasions_;
+  SATIN_TRACE_INSTANT_ARG("attack", "evasion", when, core, obs::kWorldNormal,
+                          "staleness_s", staleness.sec());
+  SATIN_METRIC_INC("attack.evasions");
   SATIN_LOG(kInfo) << "tz-evader: hiding traces (core " << core
                    << " flagged at " << when.to_string() << ")";
   // The recovery may outlive a short introspection round; re-arm once it
@@ -72,6 +77,9 @@ void TzEvader::try_rearm() {
         }
         rootkit_.install();
         ++rearms_;
+        SATIN_TRACE_INSTANT("attack", "rearm", os_.platform().engine().now(),
+                            obs::kGlobalTrack, obs::kWorldNormal);
+        SATIN_METRIC_INC("attack.rearms");
         SATIN_LOG(kInfo) << "tz-evader: re-armed at "
                          << os_.platform().engine().now().to_string();
       });

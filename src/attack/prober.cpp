@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace satin::attack {
@@ -150,12 +152,14 @@ bool KProber::any_flagged() const {
 void KProber::probe_round(hw::CoreId self, sim::Time now, bool report) {
   if (!deployed_) return;
   ++rounds_;
+  SATIN_METRIC_INC("attack.probe_rounds");
   if (report) buffer_->report(slot_of(self), now);
   for (hw::CoreId core : probed_) {
     if (core == self) continue;
     const int slot = slot_of(core);
     if (!buffer_->ever_reported(slot)) continue;
     const sim::Duration staleness = buffer_->observed_staleness(slot, now);
+    SATIN_METRIC_OBSERVE("attack.staleness_s", staleness.sec());
     if (config_.staleness_observer) {
       config_.staleness_observer(core, staleness.sec());
     }
@@ -164,6 +168,10 @@ void KProber::probe_round(hw::CoreId self, sim::Time now, bool report) {
       if (!*flagged) {
         *flagged = true;
         ++detections_;
+        SATIN_TRACE_INSTANT_ARG("attack", "scan_detected", now, core,
+                                obs::kWorldNormal, "staleness_s",
+                                staleness.sec());
+        SATIN_METRIC_INC("attack.detections");
         SATIN_LOG(kDebug) << "kprober: core " << core
                           << " looks secure-world-held (staleness "
                           << staleness.to_string() << ")";

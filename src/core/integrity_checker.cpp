@@ -3,6 +3,8 @@
 #include <span>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace satin::core {
@@ -54,8 +56,12 @@ void IntegrityChecker::check_area_async(
             store_.matches("area/" + std::to_string(area), scan.digest);
         ++checks_;
         ++per_area_checks_.at(static_cast<std::size_t>(area));
+        SATIN_METRIC_INC("integrity.checks");
         if (!outcome.ok) {
           alarms_.push_back(Alarm{area, core, scan.scan_end, scan.digest});
+          SATIN_TRACE_INSTANT_ARG("integrity", "alarm", scan.scan_end, core,
+                                  obs::kWorldSecure, "area", area);
+          SATIN_METRIC_INC("integrity.alarms");
           SATIN_LOG(kInfo) << "integrity: ALARM area " << area << " on core "
                            << core << " at " << scan.scan_end.to_string();
         }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace satin::core {
 
 RaceParams worst_case_params(const hw::TimingParams& timing) {
@@ -19,7 +21,9 @@ RaceParams worst_case_params(const hw::TimingParams& timing) {
 bool attacker_escapes(const RaceParams& p, std::size_t s_bytes) {
   const double defender =
       p.ts_switch_s + static_cast<double>(s_bytes) * p.ts_1byte_s;
-  return defender > p.tns_delay_s() + p.tns_recover_s;
+  const bool escapes = defender > p.tns_delay_s() + p.tns_recover_s;
+  SATIN_METRIC_INC(escapes ? "race.model_escapes" : "race.model_caught");
+  return escapes;
 }
 
 std::size_t max_safe_area_bytes(const RaceParams& p) {

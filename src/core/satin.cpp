@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace satin::core {
@@ -94,6 +96,9 @@ void Satin::on_session(std::shared_ptr<hw::SecureSession> session) {
   const hw::CoreId core = session->core_id();
   const int area = area_set_.take_next();
   const std::uint64_t round = ++rounds_;
+  SATIN_TRACE_INSTANT_ARG("satin", "round", platform_.engine().now(), core,
+                          obs::kWorldSecure, "area", area);
+  SATIN_METRIC_INC("satin.rounds");
   SATIN_LOG(kDebug) << "satin: round " << round << " scans area " << area
                     << " on core " << core;
   checker_.check_area_async(
@@ -108,6 +113,7 @@ void Satin::on_session(std::shared_ptr<hw::SecureSession> session) {
         record.scan_end = outcome.scan.scan_end;
         record.per_byte_s = outcome.scan.per_byte_s;
         record.alarm = !outcome.ok;
+        if (record.alarm) SATIN_METRIC_INC("satin.detections");
         records_.push_back(record);
         // Self Activation Module: arm this core's next wake before
         // leaving the secure world (Fig. 5 step 5).

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace satin::hw {
@@ -24,6 +26,8 @@ void Core::enter_secure(sim::Time when) {
   world_ = World::kSecure;
   secure_entry_time_ = when;
   ++secure_entries_;
+  SATIN_TRACE_BEGIN("hw", "secure_world", when, id_, obs::kWorldSecure);
+  SATIN_METRIC_INC("hw.secure_entries");
   SATIN_LOG(kDebug) << name() << " enters secure world at "
                     << when.to_string();
   for (WorldListener* l : listeners_) l->on_secure_entry(id_, when);
@@ -33,6 +37,8 @@ void Core::exit_secure(sim::Time when) {
   assert(world_ == World::kSecure && "exit without entry");
   world_ = World::kNormal;
   secure_total_ += when - secure_entry_time_;
+  SATIN_TRACE_END("hw", "secure_world", when, id_, obs::kWorldSecure);
+  SATIN_METRIC_OBSERVE("hw.secure_stay_s", (when - secure_entry_time_).sec());
   SATIN_LOG(kDebug) << name() << " returns to normal world at "
                     << when.to_string();
   for (WorldListener* l : listeners_) l->on_secure_exit(id_, when);

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace satin::hw {
 
 GenericTimer::GenericTimer(sim::Engine& engine, int num_cores)
@@ -23,6 +26,14 @@ void GenericTimer::program(std::vector<PerCoreTimer>& timers, CoreId core,
       compare_value < engine_.now() ? engine_.now() : compare_value;
   t.event = engine_.schedule_at(when, [this, core, irq, &t] {
     t.enabled = false;
+    SATIN_TRACE_INSTANT_ARG("hw", "timer_fire", engine_.now(), core,
+                            irq == IrqId::kSecurePhysTimer
+                                ? obs::kWorldSecure
+                                : obs::kWorldNormal,
+                            "irq", static_cast<int>(irq));
+    SATIN_METRIC_INC(irq == IrqId::kSecurePhysTimer
+                         ? "hw.secure_timer_fires"
+                         : "hw.nonsecure_timer_fires");
     if (raise_) raise_(core, irq);
   });
 }

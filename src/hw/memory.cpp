@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace satin::hw {
 
 Memory::Memory(std::size_t size) : bytes_(size, 0) {}
@@ -25,6 +28,8 @@ void Memory::write(sim::Time now, std::size_t offset,
     const std::size_t scan_end = scan.offset + scan.length;
     const std::size_t lo = std::max(offset, scan.offset);
     const std::size_t hi = std::min(offset + data.size(), scan_end);
+    if (lo >= hi) continue;
+    std::size_t bytes_won = 0;  // write landed before the scan cursor
     for (std::size_t pos = lo; pos < hi; ++pos) {
       const double touch_ps =
           static_cast<double>(scan.start.ps()) +
@@ -33,8 +38,18 @@ void Memory::write(sim::Time now, std::size_t offset,
       // touch time is taken as visible (the store wins the cache race).
       if (static_cast<double>(now.ps()) <= touch_ps) {
         scan.view[pos - scan.offset] = data[pos - offset];
+        ++bytes_won;
       }
     }
+    // Per-byte race resolution: bytes the write placed ahead of the cursor
+    // are what the scanner will hash; bytes behind it were already read.
+    SATIN_TRACE_INSTANT_ARG("race", bytes_won > 0 ? "write_before_cursor"
+                                                  : "write_after_cursor",
+                            now, obs::kGlobalTrack, obs::kWorldNormal,
+                            "bytes_won", bytes_won);
+    SATIN_METRIC_ADD("race.bytes_write_won", bytes_won);
+    SATIN_METRIC_ADD("race.bytes_write_lost", (hi - lo) - bytes_won);
+    SATIN_METRIC_INC("race.writes_during_scan");
   }
   std::copy(data.begin(), data.end(), bytes_.begin() + offset);
 }

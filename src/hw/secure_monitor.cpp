@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace satin::hw {
@@ -34,6 +36,9 @@ void SecureMonitor::on_secure_irq(CoreId core_id, IrqId irq) {
     throw std::logic_error("secure irq delivered to core already in secure");
   }
   const sim::Time entry = engine_.now();
+  SATIN_TRACE_INSTANT("hw", "secure_timer_irq", entry, core_id,
+                      obs::kWorldSecure);
+  SATIN_METRIC_INC("hw.secure_irqs");
   // Context save begins now: the normal world on this core is frozen from
   // this instant — exactly the availability loss the probers sense.
   core.enter_secure(entry);
@@ -45,6 +50,12 @@ void SecureMonitor::on_secure_irq(CoreId core_id, IrqId irq) {
   session->entry_ = entry;
 
   const sim::Duration switch_in = sample_switch();
+  SATIN_TRACE_BEGIN("hw", "world_switch_in", entry, core_id,
+                    obs::kWorldSecure);
+  SATIN_TRACE_END("hw", "world_switch_in", entry + switch_in, core_id,
+                  obs::kWorldSecure);
+  SATIN_METRIC_INC("hw.world_switches");
+  SATIN_METRIC_OBSERVE("hw.switch_s", switch_in.sec());
   engine_.schedule_after(switch_in, [this, session] {
     session->start_ = engine_.now();
     if (payload_) {
@@ -58,6 +69,12 @@ void SecureMonitor::on_secure_irq(CoreId core_id, IrqId irq) {
 void SecureMonitor::finish_session(SecureSession& session) {
   const CoreId core_id = session.core_id();
   const sim::Duration switch_out = sample_switch();
+  SATIN_TRACE_BEGIN("hw", "world_switch_out", engine_.now(), core_id,
+                    obs::kWorldSecure);
+  SATIN_TRACE_END("hw", "world_switch_out", engine_.now() + switch_out,
+                  core_id, obs::kWorldSecure);
+  SATIN_METRIC_INC("hw.world_switches");
+  SATIN_METRIC_OBSERVE("hw.switch_s", switch_out.sec());
   engine_.schedule_after(switch_out, [this, core_id] {
     Core& core = *cores_.at(static_cast<std::size_t>(core_id));
     core.exit_secure(engine_.now());

@@ -1,0 +1,149 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"  // json_escape
+
+namespace satin::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: no buckets");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must strictly increase");
+  }
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  acc_.add(value);
+}
+
+std::vector<double> Histogram::default_time_buckets() {
+  std::vector<double> bounds;
+  for (int decade = -9; decade <= 3; ++decade) {
+    const double base = std::pow(10.0, decade);
+    bounds.push_back(base);
+    bounds.push_back(3.0 * base);
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(Histogram::default_time_buckets()))
+             .first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(upper_bounds))).first;
+    return it->second;
+  }
+  if (it->second.upper_bounds() != upper_bounds) {
+    throw std::logic_error("MetricsRegistry: histogram '" + name +
+                           "' already registered with different buckets");
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(c.value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + format_double(g.value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const sim::Accumulator& acc = h.moments();
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(acc.count()) +
+           ", \"mean\": " + format_double(acc.mean()) +
+           ", \"min\": " + format_double(acc.min()) +
+           ", \"max\": " + format_double(acc.max()) +
+           ", \"stddev\": " + format_double(acc.stddev()) +
+           ", \"buckets\": [";
+    const auto& bounds = h.upper_bounds();
+    const auto& counts = h.counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < bounds.size() ? format_double(bounds[i]) : "\"inf\"";
+      out += ", \"n\": " + std::to_string(counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string content = to_json();
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool write_ok = written == content.size();
+  const bool close_ok = std::fclose(f) == 0;
+  return write_ok && close_ok;
+}
+
+}  // namespace satin::obs

@@ -1,0 +1,144 @@
+// Named metrics for the simulator: counters, gauges and fixed-bucket
+// histograms (moments via sim::Accumulator), exported as a deterministic
+// JSON snapshot.
+//
+// Naming convention: "<subsystem>.<metric>[_<unit>]", lower_snake case,
+// e.g. "introspect.bytes_scanned", "attack.staleness_s". Counters count
+// events, gauges carry last-written values (engine self-metrics), and
+// histograms record distributions (probe staleness, switch durations).
+//
+// Components emit through SATIN_METRIC_* macros; with no registry
+// installed a macro is one pointer test, and -DSATIN_ENABLE_OBS=OFF
+// compiles the macros out entirely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace satin::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed upper-bound buckets plus an implicit +inf overflow bucket;
+// moments (count/mean/min/max/stddev) ride on sim::Accumulator.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  // counts()[i] holds observations <= upper_bounds()[i] (and greater than
+  // the previous bound); counts().back() is the overflow bucket.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  const sim::Accumulator& moments() const { return acc_; }
+
+  // Decade buckets 1e-9 .. 1e3 with a x3 midpoint each — wide enough for
+  // every timescale the paper touches (ns hash steps to quarter-hour runs).
+  static std::vector<double> default_time_buckets();
+
+ private:
+  std::vector<double> bounds_;   // strictly increasing
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+  sim::Accumulator acc_;
+};
+
+class MetricsRegistry {
+ public:
+  // Lookup-or-create by name. References stay valid for the registry
+  // lifetime (node-based map).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // Creates with default_time_buckets() on first use.
+  Histogram& histogram(const std::string& name);
+  // Pre-registers with explicit buckets; throws if the name already exists
+  // with different bounds.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  // Read-only lookups; null when the name was never registered.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  // Deterministic snapshot: names sorted, stable field order, same string
+  // for the same state no matter the registration order.
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+// Process-global registry the macros emit into; null disables metrics.
+inline MetricsRegistry*& metrics_slot() {
+  static MetricsRegistry* registry = nullptr;
+  return registry;
+}
+inline MetricsRegistry* metrics() { return metrics_slot(); }
+inline void install_metrics(MetricsRegistry* registry) {
+  metrics_slot() = registry;
+}
+
+}  // namespace satin::obs
+
+#ifndef SATIN_OBS_ENABLED
+#define SATIN_OBS_ENABLED 1
+#endif
+
+#if SATIN_OBS_ENABLED
+
+#define SATIN_METRIC_INC(name)                                      \
+  do {                                                              \
+    if (auto* satin_obs_m_ = ::satin::obs::metrics())               \
+      satin_obs_m_->counter(name).inc();                            \
+  } while (0)
+
+#define SATIN_METRIC_ADD(name, delta)                                      \
+  do {                                                                     \
+    if (auto* satin_obs_m_ = ::satin::obs::metrics())                      \
+      satin_obs_m_->counter(name).inc(static_cast<std::uint64_t>(delta));  \
+  } while (0)
+
+#define SATIN_METRIC_GAUGE_SET(name, value)                            \
+  do {                                                                 \
+    if (auto* satin_obs_m_ = ::satin::obs::metrics())                  \
+      satin_obs_m_->gauge(name).set(static_cast<double>(value));       \
+  } while (0)
+
+#define SATIN_METRIC_OBSERVE(name, value)                               \
+  do {                                                                  \
+    if (auto* satin_obs_m_ = ::satin::obs::metrics())                   \
+      satin_obs_m_->histogram(name).observe(static_cast<double>(value)); \
+  } while (0)
+
+#else  // !SATIN_OBS_ENABLED
+
+#define SATIN_METRIC_INC(name) ((void)0)
+#define SATIN_METRIC_ADD(name, delta) ((void)0)
+#define SATIN_METRIC_GAUGE_SET(name, value) ((void)0)
+#define SATIN_METRIC_OBSERVE(name, value) ((void)0)
+
+#endif  // SATIN_OBS_ENABLED

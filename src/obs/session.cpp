@@ -1,0 +1,100 @@
+#include "obs/session.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/engine.h"
+
+namespace satin::obs {
+
+void snapshot_engine_metrics(const sim::Engine& engine,
+                             MetricsRegistry& registry) {
+  registry.gauge("engine.events_fired")
+      .set(static_cast<double>(engine.events_fired()));
+  registry.gauge("engine.queue_high_water")
+      .set(static_cast<double>(engine.queue_high_water()));
+  registry.gauge("engine.pending_events")
+      .set(static_cast<double>(engine.pending_count()));
+  const double popped = static_cast<double>(engine.events_fired() +
+                                            engine.cancelled_popped());
+  registry.gauge("engine.cancelled_ratio")
+      .set(popped > 0.0
+               ? static_cast<double>(engine.cancelled_popped()) / popped
+               : 0.0);
+  registry.gauge("engine.wall_seconds").set(engine.wall_seconds());
+  const double sim_s = engine.now().sec();
+  registry.gauge("engine.wall_s_per_sim_s")
+      .set(sim_s > 0.0 ? engine.wall_seconds() / sim_s : 0.0);
+}
+
+namespace {
+
+// Strips "--<key>=<value>" from argv; returns the last value seen.
+std::string take_flag(int& argc, char** argv, const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      value = argv[i] + prefix.size();
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argv[out] = nullptr;
+  argc = out;
+  return value;
+}
+
+}  // namespace
+
+ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity) {
+  trace_path_ = take_flag(argc, argv, "trace");
+  metrics_path_ = take_flag(argc, argv, "metrics");
+  // One flag should yield the full picture: a trace without an explicit
+  // metrics path still drops a snapshot next to it.
+  if (!trace_path_.empty() && metrics_path_.empty()) {
+    metrics_path_ = trace_path_ + ".metrics.json";
+  }
+  if (!trace_path_.empty()) {
+    recorder_ = std::make_unique<TraceRecorder>(trace_capacity);
+    install_tracer(recorder_.get());
+  }
+  if (!metrics_path_.empty()) {
+    registry_ = std::make_unique<MetricsRegistry>();
+    install_metrics(registry_.get());
+  }
+}
+
+ObsSession::~ObsSession() { flush(nullptr); }
+
+bool ObsSession::flush(const sim::Engine* engine) {
+  if (flushed_) return true;
+  flushed_ = true;
+  bool ok = true;
+  if (recorder_ != nullptr) {
+    if (tracer() == recorder_.get()) install_tracer(nullptr);
+    if (!recorder_->write_chrome_json(trace_path_)) {
+      std::fprintf(stderr, "obs: failed to write trace %s\n",
+                   trace_path_.c_str());
+      ok = false;
+    }
+    if (!recorder_->write_jsonl(trace_path_ + ".jsonl")) {
+      std::fprintf(stderr, "obs: failed to write trace %s.jsonl\n",
+                   trace_path_.c_str());
+      ok = false;
+    }
+  }
+  if (registry_ != nullptr) {
+    if (engine != nullptr) snapshot_engine_metrics(*engine, *registry_);
+    if (metrics() == registry_.get()) install_metrics(nullptr);
+    if (!registry_->write_json(metrics_path_)) {
+      std::fprintf(stderr, "obs: failed to write metrics %s\n",
+                   metrics_path_.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace satin::obs

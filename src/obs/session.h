@@ -1,0 +1,71 @@
+// One-call observability wiring for examples and benches.
+//
+// ObsSession parses and strips `--trace=<file>` and `--metrics=<file>`
+// from argv, installs a global TraceRecorder / MetricsRegistry while
+// alive, and writes the requested files when flushed (or destroyed).
+//
+//   int main(int argc, char** argv) {
+//     scenario::Scenario system;            // engine outlives the session
+//     obs::ObsSession obs(argc, argv);
+//     ...
+//     obs.flush(&system.engine());          // optional explicit flush
+//   }
+//
+// `--trace=out.json` writes Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing) plus a JSONL twin at `out.json` + ".jsonl"; when no
+// `--metrics=` path is given a snapshot still lands next to the trace at
+// `out.json` + ".metrics.json", so one flag yields a full picture.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace satin::sim {
+class Engine;
+}
+
+namespace satin::obs {
+
+// Records engine self-metrics (events fired, queue depth high-water mark,
+// cancelled-event ratio, wall time per simulated second) as gauges.
+void snapshot_engine_metrics(const sim::Engine& engine,
+                             MetricsRegistry& registry);
+
+class ObsSession {
+ public:
+  // Consumes --trace= / --metrics= from argv (argc is rewritten). When
+  // neither flag is present the session installs nothing and costs
+  // nothing.
+  ObsSession(int& argc, char** argv,
+             std::size_t trace_capacity = 1u << 20);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool trace_enabled() const { return recorder_ != nullptr; }
+  bool metrics_enabled() const { return registry_ != nullptr; }
+  const std::string& trace_path() const { return trace_path_; }
+  const std::string& metrics_path() const { return metrics_path_; }
+
+  TraceRecorder* recorder() { return recorder_.get(); }
+  MetricsRegistry* registry() { return registry_.get(); }
+
+  // Writes the requested files and uninstalls the global hooks. Pass the
+  // engine to include its self-metrics in the snapshot; call before the
+  // engine dies (the destructor flushes without engine metrics otherwise).
+  // Returns false when any file failed to write.
+  bool flush(const sim::Engine* engine = nullptr);
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<TraceRecorder> recorder_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  bool flushed_ = false;
+};
+
+}  // namespace satin::obs

@@ -1,0 +1,233 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace satin::obs {
+
+namespace {
+
+// Track layout: tid 0 is the engine/global track; each core owns a pair of
+// tracks (normal world, secure world). Events with a core but no world
+// land on the core's normal track.
+int track_tid(const TraceEvent& ev) {
+  if (ev.core < 0) return 0;
+  return 1 + ev.core * 2 + (ev.world == kWorldSecure ? 1 : 0);
+}
+
+std::string track_name(int tid) {
+  if (tid == 0) return "engine";
+  const int core = (tid - 1) / 2;
+  const bool secure = ((tid - 1) % 2) != 0;
+  return "core" + std::to_string(core) + (secure ? "/secure" : "/normal");
+}
+
+const char* chrome_phase(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kBegin:
+      return "B";
+    case TracePhase::kEnd:
+      return "E";
+    case TracePhase::kInstant:
+      return "i";
+    case TracePhase::kCounter:
+      return "C";
+  }
+  return "i";
+}
+
+// Microsecond timestamp with picosecond resolution kept.
+std::string format_ts_us(std::int64_t t_ps) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", static_cast<double>(t_ps) * 1e-6);
+  return buf;
+}
+
+std::string format_value(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kBegin:
+      return "begin";
+    case TracePhase::kEnd:
+      return "end";
+    case TracePhase::kInstant:
+      return "instant";
+    case TracePhase::kCounter:
+      return "counter";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+
+  // Collect the tracks actually used so the metadata block stays tight.
+  std::map<int, std::string> tracks;
+  tracks[0] = track_name(0);
+  for (const TraceEvent& ev : events) {
+    const int tid = track_tid(ev);
+    if (tracks.find(tid) == tracks.end()) tracks[tid] = track_name(tid);
+  }
+
+  std::string out;
+  out.reserve(events.size() * 96 + 1024);
+  out += "{\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"satin-sim\"}}";
+  for (const auto& [tid, name] : tracks) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" +
+           json_escape(name) + "\"}}";
+    out += ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,"
+           "\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"sort_index\":" +
+           std::to_string(tid) + "}}";
+  }
+
+  for (const TraceEvent& ev : events) {
+    out += ",\n{\"name\":\"";
+    out += json_escape(ev.name);
+    out += "\",\"cat\":\"";
+    out += json_escape(ev.category);
+    out += "\",\"ph\":\"";
+    out += chrome_phase(ev.phase);
+    out += "\",\"ts\":";
+    out += format_ts_us(ev.t_ps);
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(track_tid(ev));
+    if (ev.phase == TracePhase::kInstant) out += ",\"s\":\"t\"";
+    if (ev.phase == TracePhase::kCounter) {
+      out += ",\"args\":{\"";
+      out += json_escape(ev.name);
+      out += "\":";
+      out += format_value(ev.arg_value);
+      out += "}";
+    } else if (ev.arg_name != nullptr) {
+      out += ",\"args\":{\"";
+      out += json_escape(ev.arg_name);
+      out += "\":";
+      out += format_value(ev.arg_value);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
+  out += std::to_string(dropped_);
+  out += "}}\n";
+  return out;
+}
+
+std::string TraceRecorder::to_jsonl() const {
+  std::string out;
+  const std::vector<TraceEvent> events = snapshot();
+  out.reserve(events.size() * 96);
+  for (const TraceEvent& ev : events) {
+    out += "{\"cat\":\"";
+    out += json_escape(ev.category);
+    out += "\",\"name\":\"";
+    out += json_escape(ev.name);
+    out += "\",\"phase\":\"";
+    out += to_string(ev.phase);
+    out += "\",\"t_ps\":";
+    out += std::to_string(ev.t_ps);
+    out += ",\"core\":";
+    out += std::to_string(ev.core);
+    out += ",\"world\":";
+    out += std::to_string(ev.world);
+    if (ev.phase == TracePhase::kCounter) {
+      out += ",\"value\":";
+      out += format_value(ev.arg_value);
+    } else if (ev.arg_name != nullptr) {
+      out += ",\"";
+      out += json_escape(ev.arg_name);
+      out += "\":";
+      out += format_value(ev.arg_value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+namespace {
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written != content.size()) std::fclose(f);
+  return ok;
+}
+}  // namespace
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  return write_file(path, to_chrome_json());
+}
+
+bool TraceRecorder::write_jsonl(const std::string& path) const {
+  return write_file(path, to_jsonl());
+}
+
+}  // namespace satin::obs

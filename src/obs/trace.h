@@ -1,0 +1,195 @@
+// Structured simulation tracing.
+//
+// Every result this repo reproduces is a timing race; when a race comes
+// out wrong the printf tables say *what* happened but never *when*. The
+// TraceRecorder captures typed events — world-switch enter/exit, scan
+// start/end, per-byte race resolutions, detections, evasions, scheduler
+// ticks, timer fires, SMC calls — stamped with simulated time, core id and
+// TrustZone world, into a fixed-capacity ring buffer (oldest events are
+// overwritten, never reallocated mid-run). The buffer exports as Chrome
+// trace-event JSON (open in Perfetto or chrome://tracing; one track per
+// core per world) and as JSONL for scripted analysis.
+//
+// Components emit through the SATIN_TRACE_* macros below. The macros are
+// compiled out entirely with -DSATIN_ENABLE_OBS=OFF; when compiled in they
+// cost one pointer test unless a recorder is installed.
+//
+// Event names and categories must be string literals (or other
+// static-storage strings): the recorder stores the pointers, not copies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace satin::obs {
+
+// Chrome trace-event phases we use. kBegin/kEnd pair into duration spans
+// on the same track; kInstant marks a point; kCounter samples a value.
+enum class TracePhase : std::uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+const char* to_string(TracePhase phase);
+
+// Track identity: core >= 0 selects a per-core track, kGlobalTrack the
+// engine/global track. world selects the normal/secure sub-track.
+inline constexpr int kGlobalTrack = -1;
+inline constexpr int kWorldNone = -1;
+inline constexpr int kWorldNormal = 0;
+inline constexpr int kWorldSecure = 1;
+
+struct TraceEvent {
+  const char* category = "";  // static string, e.g. "hw"
+  const char* name = "";      // static string, e.g. "secure_world"
+  std::int64_t t_ps = 0;      // simulated timestamp
+  TracePhase phase = TracePhase::kInstant;
+  std::int16_t core = kGlobalTrack;
+  std::int8_t world = kWorldNone;
+  const char* arg_name = nullptr;  // optional single argument
+  double arg_value = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  // Default capacity holds ~1M events (~48 MB); long simulations keep the
+  // most recent window, which is the one a failed race post-mortem needs.
+  explicit TraceRecorder(std::size_t capacity = 1u << 20);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+  // Events overwritten after the ring filled up.
+  std::uint64_t dropped() const { return dropped_; }
+
+  void record(const TraceEvent& event) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+      return;
+    }
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  void begin(const char* category, const char* name, sim::Time t, int core,
+             int world) {
+    record(make(category, name, TracePhase::kBegin, t, core, world));
+  }
+  void end(const char* category, const char* name, sim::Time t, int core,
+           int world) {
+    record(make(category, name, TracePhase::kEnd, t, core, world));
+  }
+  void instant(const char* category, const char* name, sim::Time t, int core,
+               int world, const char* arg_name = nullptr,
+               double arg_value = 0.0) {
+    TraceEvent ev = make(category, name, TracePhase::kInstant, t, core, world);
+    ev.arg_name = arg_name;
+    ev.arg_value = arg_value;
+    record(ev);
+  }
+  void counter(const char* name, sim::Time t, double value) {
+    TraceEvent ev =
+        make("counter", name, TracePhase::kCounter, t, kGlobalTrack,
+             kWorldNone);
+    ev.arg_value = value;
+    record(ev);
+  }
+
+  void clear();
+
+  // Events in recording order (ring unwound, oldest first).
+  std::vector<TraceEvent> snapshot() const;
+
+  // Chrome trace-event format ("traceEvents" array plus thread-name
+  // metadata); loads in Perfetto / chrome://tracing.
+  std::string to_chrome_json() const;
+  // One JSON object per line, for jq/python post-processing.
+  std::string to_jsonl() const;
+
+  bool write_chrome_json(const std::string& path) const;
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  static TraceEvent make(const char* category, const char* name,
+                         TracePhase phase, sim::Time t, int core, int world) {
+    TraceEvent ev;
+    ev.category = category;
+    ev.name = name;
+    ev.t_ps = t.ps();
+    ev.phase = phase;
+    ev.core = static_cast<std::int16_t>(core);
+    ev.world = static_cast<std::int8_t>(world);
+    return ev;
+  }
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // index of the oldest event once the ring is full
+  std::uint64_t dropped_ = 0;
+};
+
+// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(const std::string& raw);
+
+// Process-global recorder the macros emit into; null disables tracing.
+inline TraceRecorder*& tracer_slot() {
+  static TraceRecorder* recorder = nullptr;
+  return recorder;
+}
+inline TraceRecorder* tracer() { return tracer_slot(); }
+inline void install_tracer(TraceRecorder* recorder) {
+  tracer_slot() = recorder;
+}
+
+}  // namespace satin::obs
+
+#ifndef SATIN_OBS_ENABLED
+#define SATIN_OBS_ENABLED 1
+#endif
+
+#if SATIN_OBS_ENABLED
+
+#define SATIN_TRACE_BEGIN(category, name, t, core, world)         \
+  do {                                                            \
+    if (auto* satin_obs_tr_ = ::satin::obs::tracer())             \
+      satin_obs_tr_->begin((category), (name), (t), (core), (world)); \
+  } while (0)
+
+#define SATIN_TRACE_END(category, name, t, core, world)           \
+  do {                                                            \
+    if (auto* satin_obs_tr_ = ::satin::obs::tracer())             \
+      satin_obs_tr_->end((category), (name), (t), (core), (world)); \
+  } while (0)
+
+#define SATIN_TRACE_INSTANT(category, name, t, core, world)       \
+  do {                                                            \
+    if (auto* satin_obs_tr_ = ::satin::obs::tracer())             \
+      satin_obs_tr_->instant((category), (name), (t), (core), (world)); \
+  } while (0)
+
+#define SATIN_TRACE_INSTANT_ARG(category, name, t, core, world, arg_name, \
+                                arg_value)                                \
+  do {                                                                    \
+    if (auto* satin_obs_tr_ = ::satin::obs::tracer())                     \
+      satin_obs_tr_->instant((category), (name), (t), (core), (world),    \
+                             (arg_name),                                  \
+                             static_cast<double>(arg_value));             \
+  } while (0)
+
+#define SATIN_TRACE_COUNTER(name, t, value)                          \
+  do {                                                               \
+    if (auto* satin_obs_tr_ = ::satin::obs::tracer())                \
+      satin_obs_tr_->counter((name), (t), static_cast<double>(value)); \
+  } while (0)
+
+#else  // !SATIN_OBS_ENABLED
+
+#define SATIN_TRACE_BEGIN(category, name, t, core, world) ((void)0)
+#define SATIN_TRACE_END(category, name, t, core, world) ((void)0)
+#define SATIN_TRACE_INSTANT(category, name, t, core, world) ((void)0)
+#define SATIN_TRACE_INSTANT_ARG(category, name, t, core, world, arg_name, \
+                                arg_value)                                \
+  ((void)0)
+#define SATIN_TRACE_COUNTER(name, t, value) ((void)0)
+
+#endif  // SATIN_OBS_ENABLED

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace satin::os {
@@ -189,7 +191,10 @@ void RichOs::begin_next_action(hw::CoreId core) {
     // Resuming a preempted/frozen compute; the context-switch tax applies
     // when a different thread ran in between.
     sim::Duration total = t->remaining_compute_;
-    if (st.last_thread != t) total += config_.context_switch_cost;
+    if (st.last_thread != t) {
+      total += config_.context_switch_cost;
+      SATIN_METRIC_INC("os.context_switches");
+    }
     st.last_thread = t;
     start_compute(core, total);
     return;
@@ -203,7 +208,10 @@ void RichOs::begin_next_action(hw::CoreId core) {
     if (total <= sim::Duration::zero()) total = sim::Duration::from_ps(1);
     t->pending_on_complete_ = std::move(compute->on_complete);
     t->remaining_compute_ = total;
-    if (st.last_thread != t) total += config_.context_switch_cost;
+    if (st.last_thread != t) {
+      total += config_.context_switch_cost;
+      SATIN_METRIC_INC("os.context_switches");
+    }
     st.last_thread = t;
     start_compute(core, total);
     return;
@@ -325,6 +333,9 @@ void RichOs::program_tick(hw::CoreId core) {
 
 void RichOs::on_tick(hw::CoreId core) {
   CpuState& st = cpu(core);
+  SATIN_TRACE_INSTANT("os", "tick", platform_.engine().now(), core,
+                      obs::kWorldNormal);
+  SATIN_METRIC_INC("os.ticks");
   if (st.frozen) {
     // A tick pended across a secure stay lands here before our own
     // on_secure_exit runs (listener order); the exit path re-programs.

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace satin::secure {
 
 const char* to_string(ScanStrategy strategy) {
@@ -36,11 +39,12 @@ void Introspector::scan_async(hw::CoreId core, std::size_t offset,
   const double per_byte_ps = per_byte_s * 1e12;
   const sim::Time start = platform_.engine().now();
   auto token = platform_.memory().begin_scan(start, offset, length, per_byte_ps);
+  SATIN_TRACE_BEGIN("secure", "scan", start, core, obs::kWorldSecure);
 
   const sim::Duration total = sim::Duration::from_sec_f(
       per_byte_s * static_cast<double>(length));
   platform_.engine().schedule_after(
-      total, [this, token, offset, length, start, per_byte_s,
+      total, [this, core, token, offset, length, start, per_byte_s,
               done = std::move(done)]() mutable {
         const auto seen = platform_.memory().finish_scan(token);
         ScanResult result;
@@ -51,6 +55,12 @@ void Introspector::scan_async(hw::CoreId core, std::size_t offset,
         result.scan_end = platform_.engine().now();
         result.per_byte_s = per_byte_s;
         ++scans_;
+        SATIN_TRACE_END("secure", "scan", result.scan_end, core,
+                        obs::kWorldSecure);
+        SATIN_METRIC_INC("introspect.scans");
+        SATIN_METRIC_ADD("introspect.bytes_scanned", length);
+        SATIN_METRIC_OBSERVE("introspect.scan_s",
+                             (result.scan_end - start).sec());
         done(result);
       });
 }

@@ -1,10 +1,38 @@
 #include "sim/engine.h"
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+#include "sim/log.h"
+
 namespace satin::sim {
+
+namespace {
+
+Time engine_log_clock(const void* ctx) {
+  return static_cast<const Engine*>(ctx)->now();
+}
+
+// Accumulates host wall time spent inside a run_* call onto `sink`.
+class WallTimer {
+ public:
+  explicit WallTimer(double& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() {
+    sink_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count();
+  }
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 bool EventHandle::pending() const {
   return state_ && !state_->cancelled && !state_->fired;
@@ -18,6 +46,12 @@ Time EventHandle::when() const {
   return state_ ? state_->when : Time::zero();
 }
 
+Engine::Engine() { set_log_clock(&engine_log_clock, this); }
+
+Engine::~Engine() {
+  if (log_clock_ctx() == this) set_log_clock(nullptr, nullptr);
+}
+
 EventHandle Engine::schedule_at(Time when, Callback cb) {
   if (when < now_) {
     throw std::logic_error("Engine::schedule_at: time in the past");
@@ -26,6 +60,7 @@ EventHandle Engine::schedule_at(Time when, Callback cb) {
   state->callback = std::move(cb);
   state->when = when;
   queue_.push(QueueEntry{when, next_seq_++, state});
+  if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
   return EventHandle(state);
 }
 
@@ -36,22 +71,36 @@ bool Engine::fire_next(Time limit) {
     auto state = top.state;
     const Time when = top.when;
     queue_.pop();
-    if (state->cancelled) continue;
+    if (state->cancelled) {
+      ++cancelled_popped_;
+      continue;
+    }
     now_ = when;
     state->fired = true;
     ++fired_;
     // Move the callback out so an event that reschedules "itself" through a
     // captured handle cannot observe a half-dead state.
     Callback cb = std::move(state->callback);
+    SATIN_TRACE_BEGIN("engine", "dispatch", now_, obs::kGlobalTrack,
+                      obs::kWorldNone);
     cb();
+    SATIN_TRACE_END("engine", "dispatch", now_, obs::kGlobalTrack,
+                    obs::kWorldNone);
     return true;
   }
   return false;
 }
 
-bool Engine::step() { return fire_next(Time::max()); }
+bool Engine::step() {
+  // Same contract as run_until/run_all: a stop request only affects the
+  // run it was issued inside of; entering a new (single-step) run clears
+  // any stale request instead of silently carrying it forward.
+  stop_requested_ = false;
+  return fire_next(Time::max());
+}
 
 std::size_t Engine::run_until(Time deadline) {
+  WallTimer wall(wall_seconds_);
   stop_requested_ = false;
   std::size_t n = 0;
   while (!stop_requested_ && fire_next(deadline)) ++n;
@@ -60,6 +109,7 @@ std::size_t Engine::run_until(Time deadline) {
 }
 
 std::size_t Engine::run_all() {
+  WallTimer wall(wall_seconds_);
   stop_requested_ = false;
   std::size_t n = 0;
   while (!stop_requested_ && fire_next(Time::max())) ++n;

@@ -47,7 +47,10 @@ class EventHandle {
 
 class Engine {
  public:
-  Engine() = default;
+  // Construction installs this engine as the log-time source (the newest
+  // engine wins); destruction uninstalls it if still current.
+  Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -59,7 +62,10 @@ class Engine {
   }
 
   // Runs the single next event, if any. Returns false when the queue is
-  // empty (after skipping cancelled entries).
+  // empty (after skipping cancelled entries). Manual single-stepping is
+  // never interrupted: any pending stop request is cleared first, exactly
+  // like run_until/run_all do on entry, so request_stop() only ever
+  // affects the run_* call it was issued inside of.
   bool step();
 
   // Runs every event with timestamp <= deadline, then advances the clock to
@@ -71,11 +77,22 @@ class Engine {
   std::size_t run_all();
 
   // Callable from inside a callback: makes the enclosing run_* return once
-  // the current event finishes.
+  // the current event finishes. A request issued outside any run is inert:
+  // step/run_until/run_all all clear it on entry.
   void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
 
   std::size_t pending_count() const;
   std::uint64_t events_fired() const { return fired_; }
+
+  // --- Engine self-metrics (see obs/session.h) ---------------------------
+  // Deepest the event queue has ever been (including cancelled entries).
+  std::size_t queue_high_water() const { return queue_high_water_; }
+  // Cancelled entries popped and skipped rather than fired.
+  std::uint64_t cancelled_popped() const { return cancelled_popped_; }
+  // Host wall-clock seconds spent inside run_until/run_all; with now() it
+  // yields wall-time per simulated second.
+  double wall_seconds() const { return wall_seconds_; }
 
  private:
   struct QueueEntry {
@@ -93,6 +110,9 @@ class Engine {
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_popped_ = 0;
+  std::size_t queue_high_water_ = 0;
+  double wall_seconds_ = 0.0;
   bool stop_requested_ = false;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>

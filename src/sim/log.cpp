@@ -7,6 +7,8 @@ namespace satin::sim {
 namespace {
 LogLevel g_level = LogLevel::kWarn;
 LogSink g_sink = nullptr;
+LogClockFn g_clock_fn = nullptr;
+const void* g_clock_ctx = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,6 +31,21 @@ void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 void set_log_sink(LogSink sink) { g_sink = sink; }
 
+void set_log_clock(LogClockFn fn, const void* ctx) {
+  g_clock_fn = fn;
+  g_clock_ctx = fn != nullptr ? ctx : nullptr;
+}
+
+const void* log_clock_ctx() { return g_clock_ctx; }
+
+std::string log_time_prefix() {
+  if (g_clock_fn == nullptr) return "";
+  const Time now = g_clock_fn(g_clock_ctx);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "[t=%.3fms] ", now.ms());
+  return buf;
+}
+
 namespace detail {
 void emit(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;
@@ -36,7 +53,12 @@ void emit(LogLevel level, const std::string& msg) {
     g_sink(level, msg);
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  // Default sink: one fprintf per line (keeps lines whole under
+  // interleaving) followed by an explicit flush so a crashing run never
+  // loses its tail.
+  std::fprintf(stderr, "%s[%s] %s\n", log_time_prefix().c_str(),
+               level_name(level), msg.c_str());
+  std::fflush(stderr);
 }
 }  // namespace detail
 

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <string>
 
+#include "sim/time.h"
+
 namespace satin::sim {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
@@ -16,9 +18,23 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-// Sink hook (for tests); nullptr restores stderr.
+// Sink hook (for tests); nullptr restores stderr. Sinks receive the raw
+// message (no time prefix) so test expectations stay stable.
 using LogSink = void (*)(LogLevel, const std::string&);
 void set_log_sink(LogSink sink);
+
+// Installable simulated-clock hook. While a clock is installed the default
+// stderr sink prefixes every line with the current simulated time, e.g.
+// "[t=12.345ms]". Engine installs itself on construction (newest engine
+// wins) and uninstalls on destruction, so components never wire this by
+// hand. A null fn disables the prefix.
+using LogClockFn = Time (*)(const void* ctx);
+void set_log_clock(LogClockFn fn, const void* ctx);
+// Context registered with the current clock (null when none); lets an
+// engine uninstall only itself.
+const void* log_clock_ctx();
+// "[t=12.345ms] " while a clock is installed, "" otherwise.
+std::string log_time_prefix();
 
 namespace detail {
 void emit(LogLevel level, const std::string& msg);

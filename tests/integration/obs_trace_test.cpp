@@ -1,0 +1,151 @@
+// End-to-end observability: run the quickstart scenario (SATIN catches a
+// GETTID rootkit) with a recorder + registry installed and check that the
+// trace tells a coherent story — spans pair up per core, the counters
+// agree with the simulation, and two same-seed runs trace identically.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "attack/rootkit.h"
+#include "core/satin.h"
+#include "obs/metrics.h"
+#include "obs/session.h"
+#include "obs/trace.h"
+#include "scenario/scenario.h"
+
+namespace satin {
+namespace {
+
+struct RunResult {
+  std::vector<obs::TraceEvent> events;
+  std::string chrome_json;
+  std::string metrics_json;
+  std::uint64_t scans = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t world_switches = 0;
+  std::uint64_t detections = 0;
+};
+
+RunResult run_quickstart_traced() {
+  obs::TraceRecorder recorder(1u << 16);
+  obs::MetricsRegistry registry;
+  obs::install_tracer(&recorder);
+  obs::install_metrics(&registry);
+
+  {
+    scenario::Scenario system;
+    core::Satin satin(system.platform(), system.kernel(), system.tsp(),
+                      core::SatinConfig{});
+    satin.start();
+    attack::Rootkit rootkit(system.os(),
+                            system.platform().rng().fork("quickstart"));
+    rootkit.add_gettid_trace();
+    rootkit.install();
+    while (satin.checker().check_count(14) == 0) {
+      system.run_for(sim::Duration::from_sec(5));
+    }
+    satin.stop();
+  }
+
+  obs::install_tracer(nullptr);
+  obs::install_metrics(nullptr);
+
+  RunResult out;
+  out.events = recorder.snapshot();
+  out.chrome_json = recorder.to_chrome_json();
+  out.metrics_json = registry.to_json();
+  auto counter = [&](const char* name) -> std::uint64_t {
+    const obs::Counter* c = registry.find_counter(name);
+    return c == nullptr ? 0 : c->value();
+  };
+  out.scans = counter("introspect.scans");
+  out.rounds = counter("satin.rounds");
+  out.world_switches = counter("hw.world_switches");
+  out.detections = counter("satin.detections");
+  return out;
+}
+
+// (begins, ends) for one span name, grouped by core.
+std::map<int, std::pair<int, int>> span_balance(
+    const std::vector<obs::TraceEvent>& events, const char* name) {
+  std::map<int, std::pair<int, int>> by_core;
+  for (const auto& ev : events) {
+    if (std::strcmp(ev.name, name) != 0) continue;
+    if (ev.phase == obs::TracePhase::kBegin) ++by_core[ev.core].first;
+    if (ev.phase == obs::TracePhase::kEnd) ++by_core[ev.core].second;
+  }
+  return by_core;
+}
+
+TEST(ObsIntegrationTest, QuickstartTraceTellsACoherentStory) {
+  const RunResult run = run_quickstart_traced();
+
+  // The simulation did real work and the counters saw it.
+  EXPECT_GT(run.scans, 0u);
+  EXPECT_GT(run.rounds, 0u);
+  EXPECT_GT(run.world_switches, 0u);
+  EXPECT_GT(run.detections, 0u) << "rootkit in area 14 must raise an alarm";
+  // Every SATIN round launches one scan; at most the in-flight tail (one
+  // session per core) can be un-completed when the run stops.
+  EXPECT_GE(run.rounds, run.scans);
+  EXPECT_LE(run.rounds - run.scans, 6u);
+
+  // World-switch spans pair per core (the run ends outside the secure
+  // world, so every enter has its exit).
+  const auto switches = span_balance(run.events, "secure_world");
+  ASSERT_FALSE(switches.empty());
+  for (const auto& [core, be] : switches) {
+    EXPECT_EQ(be.first, be.second) << "unbalanced secure_world on core "
+                                   << core;
+    EXPECT_GT(be.first, 0);
+  }
+
+  // Scan spans pair per core too; at most the final in-flight scan (cut
+  // off by satin.stop()) may be open.
+  const auto scans = span_balance(run.events, "scan");
+  ASSERT_FALSE(scans.empty());
+  int total_begins = 0;
+  for (const auto& [core, be] : scans) {
+    EXPECT_GE(be.first, be.second);
+    EXPECT_LE(be.first - be.second, 1)
+        << "more than one dangling scan on core " << core;
+    total_begins += be.first;
+  }
+  EXPECT_GT(total_begins, 0);
+
+  // The exported JSON carries the per-core/world track metadata.
+  EXPECT_NE(run.chrome_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(run.chrome_json.find("core0/secure"), std::string::npos);
+  EXPECT_NE(run.metrics_json.find("introspect.scans"), std::string::npos);
+}
+
+TEST(ObsIntegrationTest, SameSeedRunsTraceIdentically) {
+  const RunResult a = run_quickstart_traced();
+  const RunResult b = run_quickstart_traced();
+  EXPECT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.chrome_json, b.chrome_json);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+TEST(ObsIntegrationTest, EngineSelfMetricsLandInSnapshot) {
+  sim::Engine engine;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_after(sim::Duration::from_us(i + 1), [] {});
+  }
+  engine.run_all();
+  obs::MetricsRegistry registry;
+  obs::snapshot_engine_metrics(engine, registry);
+  ASSERT_NE(registry.find_gauge("engine.events_fired"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("engine.events_fired")->value(), 10.0);
+  ASSERT_NE(registry.find_gauge("engine.queue_high_water"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("engine.queue_high_water")->value(),
+                   10.0);
+  ASSERT_NE(registry.find_gauge("engine.wall_seconds"), nullptr);
+  EXPECT_GE(registry.find_gauge("engine.wall_seconds")->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace satin

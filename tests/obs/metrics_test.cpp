@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace satin::obs {
+namespace {
+
+TEST(CounterTest, IncrementsByOneAndDelta) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(HistogramTest, BucketsOnUpperBoundSemantics) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1      -> bucket 0
+  h.observe(1.0);    // == bound  -> bucket 0 (le semantics)
+  h.observe(1.0001); //           -> bucket 1
+  h.observe(10.0);   //           -> bucket 1
+  h.observe(99.0);   //           -> bucket 2
+  h.observe(1000.0); //           -> overflow
+  const auto& counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.moments().count(), 6u);
+  EXPECT_DOUBLE_EQ(h.moments().min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.moments().max(), 1000.0);
+}
+
+TEST(HistogramTest, RejectsEmptyOrNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, DefaultTimeBucketsCoverPaperTimescales) {
+  const auto bounds = Histogram::default_time_buckets();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_LE(bounds.front(), 1e-9);  // ns-scale hash steps
+  EXPECT_GE(bounds.back(), 1e3);    // quarter-hour simulations
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, LookupOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("sub.a");
+  a.inc();
+  reg.counter("sub.b").inc(5);  // may rebalance the map
+  EXPECT_EQ(&reg.counter("sub.a"), &a);
+  EXPECT_EQ(reg.counter("sub.a").value(), 1u);
+  EXPECT_EQ(reg.find_counter("sub.b")->value(), 5u);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, HistogramRebindWithDifferentBucketsThrows) {
+  MetricsRegistry reg;
+  reg.histogram("h", {1.0, 2.0});
+  EXPECT_NO_THROW(reg.histogram("h", {1.0, 2.0}));
+  EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsIdempotent) {
+  MetricsRegistry reg;
+  reg.counter("a.events").inc(3);
+  reg.gauge("a.depth").set(2.5);
+  reg.histogram("a.lat_s", {0.1, 1.0}).observe(0.05);
+  const std::string first = reg.to_json();
+  const std::string second = reg.to_json();
+  EXPECT_EQ(first, second);  // reading a snapshot must not mutate state
+  EXPECT_EQ(reg.counter("a.events").value(), 3u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIndependentOfRegistrationOrder) {
+  MetricsRegistry forward;
+  forward.counter("x.one").inc();
+  forward.counter("y.two").inc(2);
+  forward.gauge("z.g").set(1.0);
+
+  MetricsRegistry backward;
+  backward.gauge("z.g").set(1.0);
+  backward.counter("y.two").inc(2);
+  backward.counter("x.one").inc();
+
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+}
+
+TEST(MetricsRegistryTest, SnapshotContainsAllSections) {
+  MetricsRegistry reg;
+  reg.counter("c.n").inc();
+  reg.gauge("g.v").set(-3.5);
+  reg.histogram("h.s", {1.0}).observe(2.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.n\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"g.v\": -3.5"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
+}
+
+TEST(MetricsMacroTest, MacrosNoOpWithoutRegistry) {
+  install_metrics(nullptr);
+  SATIN_METRIC_INC("m.a");
+  SATIN_METRIC_ADD("m.b", 7);
+  SATIN_METRIC_GAUGE_SET("m.c", 1.0);
+  SATIN_METRIC_OBSERVE("m.d", 0.5);
+  SUCCEED();
+}
+
+TEST(MetricsMacroTest, MacrosEmitIntoInstalledRegistry) {
+  MetricsRegistry reg;
+  install_metrics(&reg);
+  SATIN_METRIC_INC("m.a");
+  SATIN_METRIC_ADD("m.a", 9);
+  SATIN_METRIC_GAUGE_SET("m.g", 4.25);
+  SATIN_METRIC_OBSERVE("m.h", 0.5);
+  install_metrics(nullptr);
+  SATIN_METRIC_INC("m.a");  // after uninstall: must not land
+
+#if SATIN_OBS_ENABLED
+  EXPECT_EQ(reg.find_counter("m.a")->value(), 10u);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("m.g")->value(), 4.25);
+  EXPECT_EQ(reg.find_histogram("m.h")->moments().count(), 1u);
+#else
+  EXPECT_EQ(reg.find_counter("m.a"), nullptr);
+#endif
+}
+
+}  // namespace
+}  // namespace satin::obs

@@ -1,0 +1,96 @@
+#include "obs/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace satin::obs {
+namespace {
+
+// Builds a mutable argv; keeps the backing strings alive.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : strings(std::move(args)) {
+    for (auto& s : strings) ptrs.push_back(s.data());
+    ptrs.push_back(nullptr);
+    argc = static_cast<int>(strings.size());
+  }
+  std::vector<std::string> strings;
+  std::vector<char*> ptrs;
+  int argc = 0;
+};
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(ObsSessionTest, NoFlagsInstallsNothing) {
+  Argv argv({"prog", "-v"});
+  ObsSession session(argv.argc, argv.ptrs.data());
+  EXPECT_FALSE(session.trace_enabled());
+  EXPECT_FALSE(session.metrics_enabled());
+  EXPECT_EQ(argv.argc, 2);
+  EXPECT_EQ(tracer(), nullptr);
+  EXPECT_EQ(metrics(), nullptr);
+}
+
+TEST(ObsSessionTest, StripsFlagsAndDerivesMetricsPath) {
+  const std::string trace = testing::TempDir() + "session_strip.trace.json";
+  Argv argv({"prog", "--trace=" + trace, "-v"});
+  {
+    ObsSession session(argv.argc, argv.ptrs.data());
+    EXPECT_TRUE(session.trace_enabled());
+    EXPECT_TRUE(session.metrics_enabled());
+    EXPECT_EQ(session.trace_path(), trace);
+    EXPECT_EQ(session.metrics_path(), trace + ".metrics.json");
+    // The obs flags are gone; the program's own flags survive in order.
+    ASSERT_EQ(argv.argc, 2);
+    EXPECT_STREQ(argv.ptrs[0], "prog");
+    EXPECT_STREQ(argv.ptrs[1], "-v");
+    EXPECT_NE(tracer(), nullptr);
+    EXPECT_NE(metrics(), nullptr);
+  }
+  // Destructor flushed the files and uninstalled the globals.
+  EXPECT_EQ(tracer(), nullptr);
+  EXPECT_EQ(metrics(), nullptr);
+  EXPECT_NE(slurp(trace).find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(slurp(trace + ".metrics.json").find("\"counters\""),
+            std::string::npos);
+}
+
+TEST(ObsSessionTest, FlushWithEngineAddsSelfMetrics) {
+  const std::string trace = testing::TempDir() + "session_engine.trace.json";
+  Argv argv({"prog", "--trace=" + trace});
+  sim::Engine engine;
+  engine.schedule_at(sim::Time::from_ms(1), [] {});
+  engine.run_all();
+  ObsSession session(argv.argc, argv.ptrs.data());
+  EXPECT_TRUE(session.flush(&engine));
+  const std::string metrics_json = slurp(session.metrics_path());
+  EXPECT_NE(metrics_json.find("engine.events_fired"), std::string::npos);
+  EXPECT_NE(metrics_json.find("engine.wall_s_per_sim_s"), std::string::npos);
+}
+
+TEST(ObsSessionTest, MetricsOnlyRunWritesNoTrace) {
+  const std::string path = testing::TempDir() + "session_only.metrics.json";
+  Argv argv({"prog", "--metrics=" + path});
+  {
+    ObsSession session(argv.argc, argv.ptrs.data());
+    EXPECT_FALSE(session.trace_enabled());
+    EXPECT_TRUE(session.metrics_enabled());
+  }
+  EXPECT_NE(slurp(path).find("\"gauges\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satin::obs

@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace satin::obs {
+namespace {
+
+sim::Time at_us(std::int64_t us) { return sim::Time::from_us(us); }
+
+TEST(TraceRecorderTest, RecordsInOrderBelowCapacity) {
+  TraceRecorder rec(8);
+  rec.instant("hw", "a", at_us(1), 0, kWorldNormal);
+  rec.instant("hw", "b", at_us(2), 1, kWorldSecure);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "a");
+  EXPECT_STREQ(events[1].name, "b");
+  EXPECT_EQ(events[0].t_ps, at_us(1).ps());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, RingWrapsOverwritingOldest) {
+  TraceRecorder rec(4);
+  static const char* kNames[] = {"e0", "e1", "e2", "e3", "e4", "e5"};
+  for (int i = 0; i < 6; ++i) {
+    rec.instant("t", kNames[i], at_us(i), 0, kWorldNone);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest two were overwritten; snapshot unwinds oldest-first.
+  EXPECT_STREQ(events[0].name, "e2");
+  EXPECT_STREQ(events[1].name, "e3");
+  EXPECT_STREQ(events[2].name, "e4");
+  EXPECT_STREQ(events[3].name, "e5");
+}
+
+TEST(TraceRecorderTest, ClearResetsRingAndDropCount) {
+  TraceRecorder rec(2);
+  for (int i = 0; i < 5; ++i) rec.instant("t", "x", at_us(i), 0, kWorldNone);
+  EXPECT_GT(rec.dropped(), 0u);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  rec.instant("t", "fresh", at_us(9), 0, kWorldNone);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "fresh");
+}
+
+TEST(TraceRecorderTest, SpanPairingSurvivesExport) {
+  TraceRecorder rec(16);
+  rec.begin("secure", "scan", at_us(10), 2, kWorldSecure);
+  rec.end("secure", "scan", at_us(30), 2, kWorldSecure);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, TracePhase::kBegin);
+  EXPECT_EQ(events[1].phase, TracePhase::kEnd);
+  EXPECT_EQ(events[0].core, events[1].core);
+  EXPECT_EQ(events[0].world, events[1].world);
+  EXPECT_LT(events[0].t_ps, events[1].t_ps);
+
+  const std::string json = rec.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"scan\""), std::string::npos);
+  // Both halves of the pair land on the same track (pid/tid).
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, TracksSeparateCoresAndWorlds) {
+  TraceRecorder rec(16);
+  rec.begin("hw", "secure_world", at_us(1), 0, kWorldSecure);
+  rec.begin("hw", "slice", at_us(1), 1, kWorldNormal);
+  rec.instant("engine", "tick", at_us(2), kGlobalTrack, kWorldNone);
+  const std::string json = rec.to_chrome_json();
+  EXPECT_NE(json.find("core0/secure"), std::string::npos);
+  EXPECT_NE(json.find("core1/normal"), std::string::npos);
+  EXPECT_NE(json.find("\"engine\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ChromeJsonIsDeterministic) {
+  auto build = [] {
+    TraceRecorder rec(8);
+    rec.begin("a", "s", at_us(5), 0, kWorldSecure);
+    rec.instant("a", "i", at_us(6), 1, kWorldNormal, "v", 1.5);
+    rec.end("a", "s", at_us(7), 0, kWorldSecure);
+    rec.counter("depth", at_us(7), 3.0);
+    return rec.to_chrome_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(TraceRecorderTest, JsonlHasOneObjectPerEvent) {
+  TraceRecorder rec(8);
+  rec.instant("x", "one", at_us(1), 0, kWorldNormal);
+  rec.instant("x", "two", at_us(2), 0, kWorldNormal, "arg", 4.0);
+  const std::string jsonl = rec.to_jsonl();
+  std::size_t lines = 0;
+  for (char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"one\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"arg\""), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(TraceMacroTest, MacrosNoOpWithoutInstalledRecorder) {
+  install_tracer(nullptr);
+  // Must not crash or record anywhere.
+  SATIN_TRACE_BEGIN("t", "x", at_us(1), 0, kWorldNormal);
+  SATIN_TRACE_END("t", "x", at_us(2), 0, kWorldNormal);
+  SATIN_TRACE_INSTANT("t", "y", at_us(3), 0, kWorldNormal);
+  SATIN_TRACE_COUNTER("c", at_us(3), 7);
+  SUCCEED();
+}
+
+TEST(TraceMacroTest, MacrosEmitIntoInstalledRecorder) {
+  TraceRecorder rec(8);
+  install_tracer(&rec);
+  SATIN_TRACE_BEGIN("t", "x", at_us(1), 0, kWorldSecure);
+  SATIN_TRACE_INSTANT_ARG("t", "y", at_us(2), 1, kWorldNormal, "area", 14);
+  install_tracer(nullptr);
+  SATIN_TRACE_INSTANT("t", "after", at_us(3), 0, kWorldNormal);
+
+#if SATIN_OBS_ENABLED
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[1].arg_name, "area");
+  EXPECT_DOUBLE_EQ(events[1].arg_value, 14.0);
+#else
+  EXPECT_EQ(rec.size(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace satin::obs

@@ -152,6 +152,44 @@ TEST(Engine, EventsFiredCounter) {
   EXPECT_EQ(engine.events_fired(), 7u);
 }
 
+TEST(Engine, StepClearsStaleStopRequest) {
+  // A stop requested outside any run loop must not wedge the next step:
+  // step() adopts the run_until/run_all contract and clears the flag on
+  // entry, so a stale request affects nothing.
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(Time::from_ms(1), [&] { ++fired; });
+  engine.request_stop();
+  EXPECT_TRUE(engine.stop_requested());
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(engine.stop_requested());
+}
+
+TEST(Engine, StopRequestedInsideCallbackIsObservableAfterStep) {
+  Engine engine;
+  engine.schedule_at(Time::from_ms(1), [&] { engine.request_stop(); });
+  engine.schedule_at(Time::from_ms(2), [] {});
+  EXPECT_TRUE(engine.step());
+  EXPECT_TRUE(engine.stop_requested());
+  // The next step starts a fresh run: the old request is spent.
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.stop_requested());
+}
+
+TEST(Engine, SelfMetricsTrackQueueAndCancellations) {
+  Engine engine;
+  EventHandle doomed = engine.schedule_at(Time::from_ms(1), [] {});
+  engine.schedule_at(Time::from_ms(2), [] {});
+  engine.schedule_at(Time::from_ms(3), [] {});
+  EXPECT_EQ(engine.queue_high_water(), 3u);
+  doomed.cancel();
+  engine.run_all();
+  EXPECT_EQ(engine.events_fired(), 2u);
+  EXPECT_EQ(engine.cancelled_popped(), 1u);
+  EXPECT_GE(engine.wall_seconds(), 0.0);
+}
+
 TEST(Engine, CancelledEventDoesNotAdvanceClock) {
   Engine engine;
   EventHandle handle = engine.schedule_at(Time::from_ms(50), [] {});

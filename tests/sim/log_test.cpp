@@ -1,0 +1,72 @@
+#include "sim/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/engine.h"
+
+namespace satin::sim {
+namespace {
+
+std::string* captured() {
+  static std::string message;
+  return &message;
+}
+
+void capture_sink(LogLevel, const std::string& msg) { *captured() = msg; }
+
+TEST(LogClock, NoPrefixWithoutInstalledClock) {
+  set_log_clock(nullptr, nullptr);
+  EXPECT_EQ(log_time_prefix(), "");
+}
+
+TEST(LogClock, EngineInstallsSimulatedTimePrefix) {
+  Engine engine;
+  EXPECT_EQ(log_time_prefix(), "[t=0.000ms] ");
+  engine.schedule_at(Time::from_us(12345), [] {});
+  engine.run_all();
+  EXPECT_EQ(log_time_prefix(), "[t=12.345ms] ");
+}
+
+TEST(LogClock, PrefixClearsWhenEngineDies) {
+  {
+    Engine engine;
+    EXPECT_NE(log_time_prefix(), "");
+  }
+  EXPECT_EQ(log_time_prefix(), "");
+}
+
+TEST(LogClock, NewestEngineWins) {
+  Engine first;
+  first.schedule_at(Time::from_ms(5), [] {});
+  first.run_all();
+  {
+    Engine second;  // installs itself over `first`
+    EXPECT_EQ(log_time_prefix(), "[t=0.000ms] ");
+  }
+  // The newer engine uninstalled only itself; no clock remains (the old
+  // engine does not re-install), so the prefix falls back to empty.
+  EXPECT_EQ(log_time_prefix(), "");
+}
+
+TEST(LogSinkTest, SinkReceivesRawMessageWithoutPrefix) {
+  Engine engine;  // a clock is installed, but sinks must not see it
+  captured()->clear();
+  set_log_sink(&capture_sink);
+  SATIN_LOG(kWarn) << "hello " << 42;
+  set_log_sink(nullptr);
+  EXPECT_EQ(*captured(), "hello 42");
+}
+
+TEST(LogSinkTest, LevelGateStillApplies) {
+  set_log_level(LogLevel::kWarn);
+  captured()->clear();
+  set_log_sink(&capture_sink);
+  SATIN_LOG(kDebug) << "should not appear";
+  set_log_sink(nullptr);
+  EXPECT_EQ(*captured(), "");
+}
+
+}  // namespace
+}  // namespace satin::sim
