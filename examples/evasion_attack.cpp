@@ -6,11 +6,12 @@
 // channel and hides its traces while the scan is still crawling toward
 // them. Run with -v for the play-by-play narration.
 //
-//   $ ./examples/evasion_attack [-v] [--trace=out.json]
+//   $ ./examples/evasion_attack [-v] [--trace=out.json] [--faults=<spec>]
 #include <cstdio>
 #include <cstring>
 
 #include "core/satin.h"
+#include "fault/injector.h"
 #include "obs/session.h"
 #include "scenario/experiments.h"
 #include "sim/log.h"
@@ -20,6 +21,8 @@ int main(int argc, char** argv) {
 
   scenario::Scenario system;
   obs::ObsSession obs(argc, argv);
+  const auto injector =
+      fault::install_from_spec(system.platform(), obs.faults_spec());
   if (argc > 1 && std::strcmp(argv[1], "-v") == 0) {
     sim::set_log_level(sim::LogLevel::kInfo);
   }

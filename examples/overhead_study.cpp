@@ -4,19 +4,26 @@
 // self-activation and prints the per-program degradation. The full-suite
 // 1-task/6-task reproduction lives in bench/bench_fig7_overhead.
 //
-//   $ ./examples/overhead_study [--trace=out.json]
+//   $ ./examples/overhead_study [--trace=out.json] [--faults=<spec>]
 #include <cstdio>
+#include <string>
 
 #include "core/satin.h"
+#include "fault/injector.h"
 #include "obs/session.h"
 #include "scenario/scenario.h"
 #include "workload/unixbench.h"
 
 namespace {
 
-std::vector<satin::workload::UnixBenchHarness::Result> run(bool with_satin) {
+std::vector<satin::workload::UnixBenchHarness::Result> run(
+    bool with_satin, const std::string& faults_spec) {
   using namespace satin;
   scenario::Scenario system;
+  // Each pass gets its own platform, so each arms its own injector (the
+  // same plan both times — faults hit the two runs identically).
+  const auto injector =
+      fault::install_from_spec(system.platform(), faults_spec);
   core::SatinConfig config;
   config.tp_s = 0.8;  // aggressive wake-ups so a short window suffices
   core::Satin satin(system.platform(), system.kernel(), system.tsp(), config);
@@ -33,7 +40,8 @@ int main(int argc, char** argv) {
   // two passes overlay on the same timeline.
   obs::ObsSession obs(argc, argv);
   std::printf("running mini-UnixBench twice (without / with SATIN)...\n\n");
-  const auto rows = workload::compare_runs(run(false), run(true));
+  const auto rows = workload::compare_runs(run(false, obs.faults_spec()),
+                                           run(true, obs.faults_spec()));
   std::printf("%-20s %14s %14s %10s\n", "program", "baseline", "with SATIN",
               "degrad %");
   for (const auto& r : rows) {

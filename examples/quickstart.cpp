@@ -3,10 +3,12 @@
 // integrity checker catch it.
 //
 //   $ ./examples/quickstart [--trace=out.json] [--metrics=out.metrics.json]
+//                           [--faults=<spec>]
 #include <cstdio>
 
 #include "attack/rootkit.h"
 #include "core/satin.h"
+#include "fault/injector.h"
 #include "obs/session.h"
 #include "os/system_map.h"
 #include "scenario/scenario.h"
@@ -18,6 +20,8 @@ int main(int argc, char** argv) {
   //    generic timers, GIC, physical memory, booted lsk-4.4-like kernel.
   scenario::Scenario system;
   obs::ObsSession obs(argc, argv);
+  const auto injector =
+      fault::install_from_spec(system.platform(), obs.faults_spec());
   std::printf("booted: %d cores, %zu-byte kernel, %d System.map regions\n",
               system.platform().num_cores(), system.kernel().size(),
               system.kernel().map().region_count());

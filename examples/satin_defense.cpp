@@ -6,10 +6,11 @@
 // its recovery finishes (~8 ms), the area containing its traces has been
 // fully hashed. Run with -v for the narration.
 //
-//   $ ./examples/satin_defense [-v] [--trace=out.json]
+//   $ ./examples/satin_defense [-v] [--trace=out.json] [--faults=<spec>]
 #include <cstdio>
 #include <cstring>
 
+#include "fault/injector.h"
 #include "obs/session.h"
 #include "scenario/experiments.h"
 #include "sim/log.h"
@@ -19,6 +20,8 @@ int main(int argc, char** argv) {
 
   scenario::Scenario system;
   obs::ObsSession obs(argc, argv);
+  const auto injector =
+      fault::install_from_spec(system.platform(), obs.faults_spec());
   if (argc > 1 && std::strcmp(argv[1], "-v") == 0) {
     sim::set_log_level(sim::LogLevel::kInfo);
   }

@@ -9,6 +9,10 @@
 
 namespace satin::core {
 
+const char* to_string(AlarmKind kind) {
+  return kind == AlarmKind::kConfirmed ? "confirmed" : "transient";
+}
+
 IntegrityChecker::IntegrityChecker(hw::Platform& platform,
                                    const os::KernelImage& image,
                                    std::vector<Area> areas,
@@ -38,35 +42,87 @@ void IntegrityChecker::authorize_boot_state() {
   authorized_ = true;
 }
 
+void IntegrityChecker::set_max_retries(int retries) {
+  if (retries < 0) {
+    throw std::invalid_argument("IntegrityChecker: negative retry budget");
+  }
+  max_retries_ = retries;
+}
+
 void IntegrityChecker::check_area_async(
     hw::CoreId core, int area, std::function<void(const CheckOutcome&)> done) {
   if (!authorized_) {
     throw std::logic_error("IntegrityChecker: authorize_boot_state first");
   }
+  run_attempt(core, area, 0, std::move(done));
+}
+
+void IntegrityChecker::run_attempt(
+    hw::CoreId core, int area, int attempt,
+    std::function<void(const CheckOutcome&)> done) {
   const Area& a = areas_.at(static_cast<std::size_t>(area));
   introspector_.scan_async(
       core, a.offset, a.size,
-      [this, core, area, done = std::move(done)](
-          const secure::ScanResult& scan) {
+      [this, core, area, attempt, done = std::move(done)](
+          const secure::ScanResult& scan) mutable {
+        const bool match =
+            store_.matches("area/" + std::to_string(area), scan.digest);
+        if (!match && attempt < max_retries_) {
+          ++retries_;
+          SATIN_METRIC_INC("satin.retries");
+          SATIN_TRACE_INSTANT_ARG("integrity", "retry", scan.scan_end, core,
+                                  obs::kWorldSecure, "area", area);
+          SATIN_LOG(kDebug) << "integrity: mismatch on area " << area
+                            << ", rescan " << (attempt + 1) << "/"
+                            << max_retries_;
+          run_attempt(core, area, attempt + 1, std::move(done));
+          return;
+        }
         CheckOutcome outcome;
         outcome.area = area;
         outcome.core = core;
         outcome.scan = scan;
-        outcome.ok =
-            store_.matches("area/" + std::to_string(area), scan.digest);
+        outcome.ok = match && attempt == 0;
+        outcome.transient = match && attempt > 0;
+        outcome.retries = attempt;
         ++checks_;
         ++per_area_checks_.at(static_cast<std::size_t>(area));
         SATIN_METRIC_INC("integrity.checks");
         if (!outcome.ok) {
-          alarms_.push_back(Alarm{area, core, scan.scan_end, scan.digest});
-          SATIN_TRACE_INSTANT_ARG("integrity", "alarm", scan.scan_end, core,
-                                  obs::kWorldSecure, "area", area);
+          const AlarmKind kind = outcome.transient ? AlarmKind::kTransient
+                                                   : AlarmKind::kConfirmed;
+          Alarm alarm;
+          alarm.area = area;
+          alarm.core = core;
+          alarm.when = scan.scan_end;
+          alarm.digest = scan.digest;
+          alarm.kind = kind;
+          alarm.retries = attempt;
+          alarms_.push_back(alarm);
           SATIN_METRIC_INC("integrity.alarms");
-          SATIN_LOG(kInfo) << "integrity: ALARM area " << area << " on core "
-                           << core << " at " << scan.scan_end.to_string();
+          if (kind == AlarmKind::kTransient) {
+            ++transient_alarms_;
+            SATIN_METRIC_INC("satin.transient_alarms");
+            SATIN_TRACE_INSTANT_ARG("integrity", "transient_alarm",
+                                    scan.scan_end, core, obs::kWorldSecure,
+                                    "area", area);
+            SATIN_LOG(kInfo) << "integrity: transient alarm on area " << area
+                             << " cleared after " << attempt << " rescan(s)";
+          } else {
+            ++confirmed_alarms_;
+            SATIN_TRACE_INSTANT_ARG("integrity", "alarm", scan.scan_end, core,
+                                    obs::kWorldSecure, "area", area);
+            SATIN_LOG(kInfo) << "integrity: ALARM area " << area << " on core "
+                             << core << " at " << scan.scan_end.to_string();
+          }
         }
         done(outcome);
       });
+}
+
+std::uint64_t IntegrityChecker::alarm_count(AlarmKind kind) const {
+  return kind == AlarmKind::kConfirmed ? confirmed_alarms_
+                                       : transient_alarms_;
 }
 
 std::uint64_t IntegrityChecker::check_count(int area) const {

@@ -19,9 +19,22 @@
 
 namespace satin::core {
 
+// How a digest mismatch classified once the retry budget ran out.
+// kConfirmed: every scan of the round mismatched — persistent tampering.
+// kTransient: a mismatch that cleared on rescan — a glitch in the observed
+// view (or an attacker restoring between scans; a transient alarm is still
+// an alarm, it just doesn't claim persistence).
+enum class AlarmKind { kConfirmed, kTransient };
+
+const char* to_string(AlarmKind kind);
+
 struct CheckOutcome {
   int area = -1;
+  // First-scan verdict: false means this round raised an alarm (of either
+  // kind). With a zero retry budget this is exactly the old semantics.
   bool ok = true;
+  bool transient = false;  // the alarm cleared on rescan
+  int retries = 0;         // rescans this round actually performed
   hw::CoreId core = -1;
   secure::ScanResult scan;
 };
@@ -31,6 +44,8 @@ struct Alarm {
   hw::CoreId core = -1;
   sim::Time when;
   std::uint64_t digest = 0;
+  AlarmKind kind = AlarmKind::kConfirmed;
+  int retries = 0;
 };
 
 class IntegrityChecker {
@@ -50,22 +65,37 @@ class IntegrityChecker {
   bool authorized() const { return authorized_; }
 
   // Scans `area` on `core` starting now; `done` fires at scan completion
-  // with the verdict.
+  // with the verdict. A mismatch with retries left rescans the same area
+  // back-to-back (the core stays in the secure world) until a scan comes
+  // back clean — kTransient — or the budget runs out — kConfirmed.
   void check_area_async(hw::CoreId core, int area,
                         std::function<void(const CheckOutcome&)> done);
+
+  // Rescan budget per round; 0 (default) keeps every mismatch kConfirmed
+  // on the first scan, the pre-resilience behavior.
+  void set_max_retries(int retries);
+  int max_retries() const { return max_retries_; }
 
   std::uint64_t checks_completed() const { return checks_; }
   std::uint64_t check_count(int area) const;
   const std::vector<Alarm>& alarms() const { return alarms_; }
+  std::uint64_t alarm_count(AlarmKind kind) const;
+  std::uint64_t retries_performed() const { return retries_; }
 
  private:
+  void run_attempt(hw::CoreId core, int area, int attempt,
+                   std::function<void(const CheckOutcome&)> done);
   hw::Platform& platform_;
   const os::KernelImage& image_;
   std::vector<Area> areas_;
   secure::Introspector introspector_;
   secure::AuthorizedStore store_;
   bool authorized_ = false;
+  int max_retries_ = 0;
   std::uint64_t checks_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t confirmed_alarms_ = 0;
+  std::uint64_t transient_alarms_ = 0;
   std::vector<std::uint64_t> per_area_checks_;
   std::vector<Alarm> alarms_;
 };

@@ -12,11 +12,22 @@ namespace {
 std::vector<Area> resolve_areas(const hw::Platform& platform,
                                 const os::KernelImage& image,
                                 const SatinConfig& config) {
-  if (!config.areas_override.empty()) return config.areas_override;
-  if (config.whole_kernel_single_area) return single_area(image.map());
-  const std::size_t cap =
-      max_safe_area_bytes(worst_case_params(platform.timing()));
-  return partition_by_regions(image.map(), cap);
+  std::vector<Area> areas;
+  if (!config.areas_override.empty()) {
+    areas = config.areas_override;
+  } else if (config.whole_kernel_single_area) {
+    areas = single_area(image.map());
+  } else {
+    const std::size_t cap =
+        max_safe_area_bytes(worst_case_params(platform.timing()));
+    areas = partition_by_regions(image.map(), cap);
+  }
+  if (areas.empty()) {
+    throw std::invalid_argument(
+        "Satin: empty kernel area set — the system map has no regions to "
+        "introspect (and no areas_override was given)");
+  }
+  return areas;
 }
 }  // namespace
 
@@ -43,6 +54,7 @@ Satin::Satin(hw::Platform& platform, const os::KernelImage& image,
   wake_queue_ = WakeUpQueue(platform.num_cores(), tp_,
                             platform_.rng().fork("satin-wake-queue"));
   wake_queue_.set_randomized(config_.randomize_wake);
+  checker_.set_max_retries(config_.resilience.max_scan_retries);
 }
 
 void Satin::start() {
@@ -54,14 +66,25 @@ void Satin::start() {
         on_session(std::move(session));
       });
   const sim::Time now = platform_.engine().now();
+  expected_wake_.assign(static_cast<std::size_t>(platform_.num_cores()),
+                        sim::Time::max());
+  absent_.assign(static_cast<std::size_t>(platform_.num_cores()), 0);
   if (config_.multi_core) {
     const auto times = wake_queue_.boot_times(now);
     for (int c = 0; c < platform_.num_cores(); ++c) {
       platform_.timer().program_secure(c, times[static_cast<std::size_t>(c)]);
+      expected_wake_[static_cast<std::size_t>(c)] =
+          times[static_cast<std::size_t>(c)];
     }
   } else {
-    platform_.timer().program_secure(config_.fixed_core,
-                                     next_wake_single(now));
+    const sim::Time next = next_wake_single(now);
+    platform_.timer().program_secure(config_.fixed_core, next);
+    expected_wake_[static_cast<std::size_t>(config_.fixed_core)] = next;
+  }
+  if (config_.resilience.watchdog) {
+    platform_.engine().schedule_at(
+        now + tp_ * config_.resilience.watchdog_period_tp,
+        [this] { watchdog_tick(); });
   }
   SATIN_LOG(kInfo) << "satin: started, m=" << area_count()
                    << " areas, tp=" << tp_.to_string();
@@ -113,20 +136,89 @@ void Satin::on_session(std::shared_ptr<hw::SecureSession> session) {
         record.scan_end = outcome.scan.scan_end;
         record.per_byte_s = outcome.scan.per_byte_s;
         record.alarm = !outcome.ok;
+        record.transient = outcome.transient;
+        record.retries = outcome.retries;
         if (record.alarm) SATIN_METRIC_INC("satin.detections");
         records_.push_back(record);
         // Self Activation Module: arm this core's next wake before
         // leaving the secure world (Fig. 5 step 5).
         if (running_) {
           const sim::Time now = platform_.engine().now();
-          const sim::Time next =
-              config_.multi_core
-                  ? wake_queue_.next_wake_for(outcome.core, now)
-                  : next_wake_single(now);
-          platform_.timer().program_secure(outcome.core, next);
+          // A spurious secure IRQ can run a round on a core outside the
+          // rotation (wrong core in single-core mode, or one the queue
+          // dropped); scan it, but never arm such a core's timer.
+          const bool in_rotation =
+              participates(outcome.core) &&
+              (!config_.multi_core || wake_queue_.core_online(outcome.core));
+          if (in_rotation) {
+            const sim::Time next =
+                config_.multi_core
+                    ? wake_queue_.next_wake_for(outcome.core, now)
+                    : next_wake_single(now);
+            platform_.timer().program_secure(outcome.core, next);
+            expected_wake_[static_cast<std::size_t>(outcome.core)] = next;
+          }
         }
         session->complete();
       });
+}
+
+void Satin::watchdog_tick() {
+  if (!running_) return;  // stop() ends the tick chain
+  const sim::Time now = platform_.engine().now();
+  const sim::Duration margin = tp_ * config_.resilience.watchdog_margin_tp;
+  for (int c = 0; c < platform_.num_cores(); ++c) {
+    if (!participates(c)) continue;
+    const auto idx = static_cast<std::size_t>(c);
+    hw::Core& core = platform_.core(c);
+    if (!core.online()) {
+      // Degradation: pull the core out of the rotation once so the queue
+      // redistributes its rounds over the survivors.
+      if (config_.resilience.adapt_offline && config_.multi_core &&
+          !absent_[idx] && wake_queue_.online_count() > 1) {
+        absent_[idx] = true;
+        wake_queue_.set_core_online(c, false);
+        SATIN_METRIC_INC("satin.cores_dropped");
+        SATIN_TRACE_INSTANT("satin", "core_dropped", now, c,
+                            obs::kWorldSecure);
+        SATIN_LOG(kInfo) << "satin: core " << c
+                         << " offline, redistributing its rounds";
+      }
+      continue;
+    }
+    if (absent_[idx]) {
+      // The core is back: resorb it and arm its next round. A stale slot
+      // from before the outage may land in the past — the timer fires it
+      // immediately, which doubles as the catch-up round.
+      absent_[idx] = false;
+      wake_queue_.set_core_online(c, true);
+      const sim::Time next = wake_queue_.next_wake_for(c, now);
+      expected_wake_[idx] = next;
+      platform_.timer().program_secure(c, next);
+      SATIN_METRIC_INC("satin.cores_resorbed");
+      SATIN_TRACE_INSTANT("satin", "core_resorbed", now, c,
+                          obs::kWorldSecure);
+      SATIN_LOG(kInfo) << "satin: core " << c << " back online, resorbed";
+      continue;
+    }
+    if (core.in_secure_world()) continue;  // a round is in flight
+    if (now > expected_wake_[idx] + margin) {
+      // Missed wake (misfired/drifted timer, lost IRQ, failed SMC):
+      // re-arm at `now` for an immediate recovery round. If the fault
+      // window is still active the re-arm may be swallowed again; the
+      // next tick retries, so bounded windows always recover.
+      ++watchdog_fires_;
+      expected_wake_[idx] = now;
+      platform_.timer().program_secure(c, now);
+      SATIN_METRIC_INC("satin.watchdog_fires");
+      SATIN_TRACE_INSTANT("satin", "watchdog_rearm", now, c,
+                          obs::kWorldSecure);
+      SATIN_LOG(kInfo) << "satin: watchdog re-arms overdue core " << c;
+    }
+  }
+  platform_.engine().schedule_at(
+      now + tp_ * config_.resilience.watchdog_period_tp,
+      [this] { watchdog_tick(); });
 }
 
 sim::Duration Satin::guaranteed_scan_period(hw::CoreType assumed_core) const {

@@ -29,6 +29,28 @@
 
 namespace satin::core {
 
+// Self-healing knobs. Everything defaults OFF so a default-configured
+// Satin is bit-identical to the pre-resilience implementation (no extra
+// RNG draws, no extra events).
+struct ResilienceConfig {
+  // Missed-wake watchdog: a trusted engine-side tick (modeled as the
+  // TSP's own bookkeeping timer, deliberately NOT routed through the
+  // faultable GenericTimer) that re-arms any core whose expected wake is
+  // overdue — recovering from misfired/drifted timers, lost secure IRQs
+  // and aborted world switches.
+  bool watchdog = false;
+  double watchdog_period_tp = 0.5;  // tick every this fraction of tp
+  double watchdog_margin_tp = 0.5;  // overdue = expected + this * tp
+  // Rescan budget on a digest mismatch: mismatch-then-clean classifies
+  // the alarm kTransient, persistent mismatch kConfirmed. 0 = classic
+  // single-scan behavior.
+  int max_scan_retries = 0;
+  // Redistribute wake-queue rounds over surviving cores when a core goes
+  // offline, resorbing it on return (multi-core only; detection rides on
+  // the watchdog tick).
+  bool adapt_offline = false;
+};
+
 struct SatinConfig {
   // Target period for covering the whole kernel once; tp = Tgoal / m.
   // §VI-B1's experiment runs with the 19-area map at ~152 s per cycle.
@@ -52,6 +74,7 @@ struct SatinConfig {
   std::vector<Area> areas_override;
   // One whole-kernel area regardless of the race bound (PKM baseline).
   bool whole_kernel_single_area = false;
+  ResilienceConfig resilience;
 };
 
 struct RoundRecord {
@@ -63,6 +86,8 @@ struct RoundRecord {
   sim::Time scan_end;
   double per_byte_s = 0.0;  // this pass's sampled scan speed
   bool alarm = false;
+  bool transient = false;  // the alarm cleared on rescan
+  int retries = 0;         // rescans performed this round
 };
 
 class Satin {
@@ -89,10 +114,13 @@ class Satin {
   std::uint64_t alarm_count() const {
     return static_cast<std::uint64_t>(checker_.alarms().size());
   }
+  std::uint64_t watchdog_fires() const { return watchdog_fires_; }
   // Completed full passes over the kernel (every round consumes exactly
-  // one area from the set).
+  // one area from the set). Guarded so a hypothetical empty area set can
+  // never fault here — construction already rejects it.
   std::uint64_t full_cycles() const {
-    return rounds_ / static_cast<std::uint64_t>(area_count());
+    const auto m = static_cast<std::uint64_t>(area_count());
+    return m == 0 ? 0 : rounds_ / m;
   }
   const std::vector<RoundRecord>& round_records() const { return records_; }
 
@@ -108,6 +136,10 @@ class Satin {
  private:
   void on_session(std::shared_ptr<hw::SecureSession> session);
   sim::Time next_wake_single(sim::Time now);
+  void watchdog_tick();
+  bool participates(hw::CoreId core) const {
+    return config_.multi_core || core == config_.fixed_core;
+  }
 
   hw::Platform& platform_;
   secure::TestSecurePayload& tsp_;
@@ -121,6 +153,11 @@ class Satin {
   sim::Time last_single_wake_;
   std::uint64_t rounds_ = 0;
   std::vector<RoundRecord> records_;
+  // Watchdog bookkeeping: the wake each participating core has been
+  // armed for, and which cores the queue currently excludes.
+  std::vector<sim::Time> expected_wake_;
+  std::vector<char> absent_;
+  std::uint64_t watchdog_fires_ = 0;
 };
 
 // The state-of-the-art baseline the paper attacks (§II, §IV-C): a

@@ -7,11 +7,34 @@
 namespace satin::core {
 
 WakeUpQueue::WakeUpQueue(int num_cores, sim::Duration tp, sim::Rng rng)
-    : num_cores_(num_cores), tp_(tp), rng_(std::move(rng)) {
+    : num_cores_(num_cores),
+      tp_(tp),
+      rng_(std::move(rng)),
+      online_(static_cast<std::size_t>(num_cores), 1) {
   if (num_cores <= 0) throw std::invalid_argument("WakeUpQueue: no cores");
   if (tp <= sim::Duration::zero()) {
     throw std::invalid_argument("WakeUpQueue: non-positive tp");
   }
+}
+
+void WakeUpQueue::set_core_online(hw::CoreId core, bool online) {
+  if (core < 0 || core >= num_cores_) {
+    throw std::out_of_range("WakeUpQueue: bad core");
+  }
+  online_[static_cast<std::size_t>(core)] = online ? 1 : 0;
+}
+
+bool WakeUpQueue::core_online(hw::CoreId core) const {
+  if (core < 0 || core >= num_cores_) {
+    throw std::out_of_range("WakeUpQueue: bad core");
+  }
+  return online_[static_cast<std::size_t>(core)] != 0;
+}
+
+int WakeUpQueue::online_count() const {
+  int n = 0;
+  for (char o : online_) n += o != 0;
+  return n;
 }
 
 sim::Duration WakeUpQueue::sample_gap() {
@@ -21,17 +44,32 @@ sim::Duration WakeUpQueue::sample_gap() {
 }
 
 void WakeUpQueue::generate(sim::Time after) {
+  // A generation holds one slot per *online* core. With every core online
+  // this draws exactly the gaps and shuffle the pre-degradation code drew,
+  // so enabling the feature without using it stays bit-identical.
+  std::vector<int> members;
+  members.reserve(static_cast<std::size_t>(num_cores_));
+  for (int c = 0; c < num_cores_; ++c) {
+    if (online_[static_cast<std::size_t>(c)]) members.push_back(c);
+  }
+  if (members.empty()) {
+    throw std::logic_error("WakeUpQueue: every core is offline");
+  }
   Generation gen;
-  gen.slot_times.resize(static_cast<std::size_t>(num_cores_));
+  gen.slot_times.resize(members.size());
   sim::Time t = std::max(after, last_slot_time_);
   for (auto& slot : gen.slot_times) {
     t += sample_gap();
     slot = t;
   }
   last_slot_time_ = t;
-  gen.core_to_slot.resize(static_cast<std::size_t>(num_cores_));
-  std::iota(gen.core_to_slot.begin(), gen.core_to_slot.end(), 0);
-  rng_.shuffle(gen.core_to_slot.begin(), gen.core_to_slot.end());
+  std::vector<int> perm(members.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng_.shuffle(perm.begin(), perm.end());
+  gen.core_to_slot.assign(static_cast<std::size_t>(num_cores_), -1);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    gen.core_to_slot[static_cast<std::size_t>(members[i])] = perm[i];
+  }
   generations_.push_back(std::move(gen));
 }
 
@@ -42,11 +80,16 @@ std::vector<sim::Time> WakeUpQueue::boot_times(sim::Time boot_time) {
   generate(boot_time);
   next_gen_for_core_.assign(static_cast<std::size_t>(num_cores_), 1);
   const Generation& gen = generations_.front();
-  std::vector<sim::Time> times(static_cast<std::size_t>(num_cores_));
+  // A core offline at boot gets no slot; Time::max() marks "never wakes"
+  // (callers skip programming it — it rejoins via set_core_online later).
+  std::vector<sim::Time> times(static_cast<std::size_t>(num_cores_),
+                               sim::Time::max());
   for (int c = 0; c < num_cores_; ++c) {
-    const auto slot =
-        static_cast<std::size_t>(gen.core_to_slot[static_cast<std::size_t>(c)]);
-    times[static_cast<std::size_t>(c)] = gen.slot_times[slot];
+    const int slot = gen.core_to_slot[static_cast<std::size_t>(c)];
+    if (slot >= 0) {
+      times[static_cast<std::size_t>(c)] =
+          gen.slot_times[static_cast<std::size_t>(slot)];
+    }
   }
   return times;
 }
@@ -59,17 +102,26 @@ sim::Time WakeUpQueue::next_wake_for(hw::CoreId core, sim::Time now) {
     throw std::logic_error("WakeUpQueue: boot_times first");
   }
   const auto c = static_cast<std::size_t>(core);
-  const std::size_t wanted = next_gen_for_core_[c]++;
-  // A fast core may lap a slow core's still-running round and need the
-  // following generation before the current one is fully extracted; the
-  // queue simply pre-generates it ("refreshes the queue with n newly
-  // generated time values and newly generated random assignment", §V-D).
-  while (generations_.size() <= wanted) generate(now);
-  const Generation& gen = generations_[wanted];
-  const auto slot = static_cast<std::size_t>(gen.core_to_slot[c]);
-  // A slot earlier than `now` (this core's previous round overran its
-  // assigned gap) fires immediately via the timer semantics.
-  return gen.slot_times[slot];
+  if (!online_[c]) {
+    throw std::logic_error("WakeUpQueue: next_wake_for on offline core");
+  }
+  for (;;) {
+    const std::size_t wanted = next_gen_for_core_[c]++;
+    // A fast core may lap a slow core's still-running round and need the
+    // following generation before the current one is fully extracted; the
+    // queue simply pre-generates it ("refreshes the queue with n newly
+    // generated time values and newly generated random assignment", §V-D).
+    while (generations_.size() <= wanted) generate(now);
+    const Generation& gen = generations_[wanted];
+    const int slot = gen.core_to_slot[c];
+    // Generations created while this core was offline carry no slot for
+    // it; skip forward. The loop terminates because a generation created
+    // inside this call always includes the (online) caller.
+    if (slot < 0) continue;
+    // A slot earlier than `now` (this core's previous round overran its
+    // assigned gap) fires immediately via the timer semantics.
+    return gen.slot_times[static_cast<std::size_t>(slot)];
+  }
 }
 
 }  // namespace satin::core

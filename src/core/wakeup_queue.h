@@ -37,14 +37,25 @@ class WakeUpQueue {
   // A core that just finished a round extracts its next wake time. New
   // generations are created on demand: normally when the previous one is
   // fully extracted, and eagerly when a fast core laps a slow round.
+  // Throws std::logic_error for a core currently marked offline.
   sim::Time next_wake_for(hw::CoreId core, sim::Time now);
+
+  // Graceful degradation: an offline core is excluded from every future
+  // generation, so its rounds redistribute over the remaining cores —
+  // slot cadence stays ~tp per slot, meaning the system-wide round rate
+  // is preserved and the survivors each wake more often. Marking the core
+  // online again resorbs it from the next generation that includes it.
+  // Already-generated slots are never reassigned.
+  void set_core_online(hw::CoreId core, bool online);
+  bool core_online(hw::CoreId core) const;
+  int online_count() const;
 
   std::uint64_t generations() const { return generations_.size(); }
 
  private:
   struct Generation {
     std::vector<sim::Time> slot_times;  // ascending round times
-    std::vector<int> core_to_slot;      // random assignment
+    std::vector<int> core_to_slot;      // slot per core; -1 = not a member
   };
 
   sim::Duration sample_gap();
@@ -54,6 +65,7 @@ class WakeUpQueue {
   sim::Duration tp_;
   sim::Rng rng_;
   bool randomized_ = true;
+  std::vector<char> online_;
   std::vector<Generation> generations_;
   std::vector<std::size_t> next_gen_for_core_;
   sim::Time last_slot_time_;

@@ -1,0 +1,86 @@
+// Typed, deterministic fault plans.
+//
+// A FaultPlan is a list of fault specs — each a fault kind active over a
+// simulated-time window with optional core targeting, trigger probability
+// and kind-specific parameters — plus a seed for the injector's private
+// RNG. The same plan and seed always yield the same fault schedule and
+// (given the same workload) the same recovery outcomes: faults are part
+// of the experiment, never noise.
+//
+// Plans parse from a compact one-line spec (the `--faults=` flag):
+//
+//   spec  := item (',' item)*
+//   item  := 'seed=' <uint>
+//          | <kind> '@' <time> '+' <duration> (':' <key> '=' <value>)*
+//   kind  := timer-misfire | timer-drift | irq-lost | irq-spurious
+//          | smc-fail | bitflip | core-off
+//   keys  := core=<id> | p=<probability> | drift=<duration>
+//          | period=<duration> | flips=<count>
+//
+// Times and durations take an optional unit suffix (ps, ns, us, ms, s);
+// a bare number means seconds. Example:
+//
+//   --faults=seed=7,timer-misfire@10s+30s:p=0.5,bitflip@5s+60s:flips=2
+//   --faults=core-off@20s+15s:core=1,irq-spurious@3s+4s:period=250ms
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace satin::fault {
+
+enum class FaultKind {
+  kTimerMisfire,  // programmed secure expiry silently dropped
+  kTimerDrift,    // secure expiry delayed by `drift`
+  kIrqLost,       // secure-group IRQ swallowed between GIC and core
+  kIrqSpurious,   // extra secure timer IRQs raised every `period`
+  kSmcFail,       // world switch into the secure world aborts
+  kBitFlip,       // transient bit-flips in a scan's observed view
+  kCoreOffline,   // core powered off for the window
+};
+
+inline constexpr int kFaultKindCount = 7;
+inline constexpr int kAnyCore = -1;
+
+const char* to_string(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTimerMisfire;
+  sim::Time start;                         // window start
+  sim::Duration duration;                  // window length
+  int core = kAnyCore;                     // target core; kAnyCore = any
+  double probability = 1.0;                // per-opportunity trigger chance
+  sim::Duration drift;                     // kTimerDrift: added delay
+  sim::Duration period = sim::Duration::from_ms(100);  // kIrqSpurious cadence
+  int flips = 1;                           // kBitFlip: bits per affected scan
+
+  sim::Time end() const { return start + duration; }
+  bool contains(sim::Time t) const { return t >= start && t < end(); }
+  bool targets(int core_id) const { return core == kAnyCore || core == core_id; }
+
+  std::string to_string() const;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0x5EEDFA17ull;
+  std::vector<FaultSpec> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  // Parses the spec grammar above; throws std::invalid_argument with a
+  // message naming the offending token on any malformed input. An empty
+  // or all-whitespace spec yields an empty plan.
+  static FaultPlan parse(const std::string& spec);
+
+  // Canonical spec string; parse(to_string()) reproduces the plan.
+  std::string to_string() const;
+};
+
+// Parses "<float><unit>?" with unit in {ps,ns,us,ms,s}; bare = seconds.
+sim::Duration parse_duration(const std::string& text);
+std::string format_duration(sim::Duration d);
+
+}  // namespace satin::fault

@@ -15,6 +15,16 @@ void Core::remove_world_listener(WorldListener* listener) {
                    listeners_.end());
 }
 
+void Core::set_online(bool online, sim::Time when) {
+  if (online_ == online) return;
+  online_ = online;
+  SATIN_TRACE_INSTANT("hw", online ? "core_online" : "core_offline", when,
+                      id_, obs::kWorldNone);
+  SATIN_METRIC_INC(online ? "hw.core_online" : "hw.core_offline");
+  SATIN_LOG(kInfo) << name() << (online ? " comes online" : " goes offline")
+                   << " at " << when.to_string();
+}
+
 std::string Core::name() const {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "core%d(%s)", id_, to_string(type_));

@@ -35,6 +35,13 @@ class Core {
   World world() const { return world_; }
   bool in_secure_world() const { return world_ == World::kSecure; }
 
+  // Power state. An offline core receives no interrupts (the GIC drops
+  // them at delivery); anything already in flight when the core went down
+  // completes — the model powers off between events, never mid-event.
+  // Fault injection drives this; cores boot online.
+  bool online() const { return online_; }
+  void set_online(bool online, sim::Time when);
+
   void add_world_listener(WorldListener* listener) {
     listeners_.push_back(listener);
   }
@@ -56,6 +63,7 @@ class Core {
   CoreId id_;
   CoreType type_;
   World world_ = World::kNormal;
+  bool online_ = true;
   sim::Time secure_entry_time_;
   sim::Duration secure_total_;
   std::size_t secure_entries_ = 0;

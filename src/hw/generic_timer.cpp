@@ -20,10 +20,25 @@ void GenericTimer::program(std::vector<PerCoreTimer>& timers, CoreId core,
   t.event.cancel();
   t.compare_value = compare_value;
   t.enabled = true;
+  // Fault seam (secure timer only): the injector may swallow this expiry
+  // or delay it. A dropped expiry leaves the timer armed but silent —
+  // exactly the lost-CVAL-write symptom SATIN's watchdog must survive.
+  sim::Duration drift = sim::Duration::zero();
+  if (fault_hooks_ != nullptr && irq == IrqId::kSecurePhysTimer) {
+    const TimerFaultDecision decision =
+        fault_hooks_->on_program_secure(core, compare_value);
+    if (decision.drop) {
+      ++faulted_programs_;
+      return;
+    }
+    if (!decision.drift.is_zero()) ++faulted_programs_;
+    drift = decision.drift;
+  }
   // The hardware condition is CNTPCT >= CVAL, so a compare value in the
   // past fires immediately.
   const sim::Time when =
-      compare_value < engine_.now() ? engine_.now() : compare_value;
+      (compare_value + drift < engine_.now() ? engine_.now()
+                                             : compare_value + drift);
   t.event = engine_.schedule_at(when, [this, core, irq, &t] {
     t.enabled = false;
     SATIN_TRACE_INSTANT_ARG("hw", "timer_fire", engine_.now(), core,

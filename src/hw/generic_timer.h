@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "hw/fault_hooks.h"
 #include "hw/types.h"
 #include "sim/engine.h"
 #include "sim/time.h"
@@ -47,6 +48,13 @@ class GenericTimer {
 
   int num_cores() const { return static_cast<int>(secure_.size()); }
 
+  // Fault-injection seam: consulted on every secure expiry programming.
+  // Null (the default) costs one pointer test and changes nothing.
+  void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
+
+  // Secure expiries swallowed or delayed by an installed FaultHooks.
+  std::uint64_t faulted_programs() const { return faulted_programs_; }
+
  private:
   struct PerCoreTimer {
     sim::EventHandle event;
@@ -60,6 +68,8 @@ class GenericTimer {
 
   sim::Engine& engine_;
   RaiseFn raise_;
+  FaultHooks* fault_hooks_ = nullptr;
+  std::uint64_t faulted_programs_ = 0;
   std::vector<PerCoreTimer> secure_;
   std::vector<PerCoreTimer> nonsecure_;
 };

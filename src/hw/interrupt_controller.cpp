@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace satin::hw {
@@ -32,8 +34,30 @@ IrqGroup InterruptController::group_of(IrqId irq) const {
 void InterruptController::raise(CoreId core, IrqId irq) {
   auto& pending = pending_.at(static_cast<std::size_t>(core));
   const IrqGroup group = group_of(irq);
-  const bool core_secure =
-      cores_.at(static_cast<std::size_t>(core))->in_secure_world();
+  Core& target = *cores_.at(static_cast<std::size_t>(core));
+  // A powered-off core has no CPU interface: the IRQ goes nowhere. (An
+  // in-flight secure stay still drains its pended IRQs at exit — power-off
+  // takes effect for newly raised interrupts.)
+  if (!target.online()) {
+    ++dropped_irqs_;
+    SATIN_TRACE_INSTANT_ARG("hw", "irq_dropped_offline", engine_.now(), core,
+                            obs::kWorldNone, "irq", static_cast<int>(irq));
+    SATIN_METRIC_INC("hw.irqs_dropped_offline");
+    SATIN_LOG(kDebug) << "gic: drop irq " << static_cast<int>(irq)
+                      << " to offline core " << core;
+    return;
+  }
+  // Fault seam: a secure-group IRQ can be lost between the distributor and
+  // the CPU interface.
+  if (fault_hooks_ != nullptr && group == IrqGroup::kSecure &&
+      fault_hooks_->drop_secure_irq(core, irq)) {
+    ++dropped_irqs_;
+    SATIN_METRIC_INC("hw.irqs_lost");
+    SATIN_LOG(kDebug) << "gic: secure irq " << static_cast<int>(irq)
+                      << " to core " << core << " lost (fault)";
+    return;
+  }
+  const bool core_secure = target.in_secure_world();
   if (group == IrqGroup::kSecure) {
     if (core_secure) {
       pending.insert(irq);

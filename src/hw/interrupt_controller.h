@@ -7,12 +7,14 @@
 // *pended* and delivered when the core returns to the normal world.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
 #include <vector>
 
 #include "hw/core.h"
+#include "hw/fault_hooks.h"
 #include "hw/types.h"
 #include "sim/engine.h"
 
@@ -50,6 +52,12 @@ class InterruptController : public WorldListener {
   bool is_pending(CoreId core, IrqId irq) const;
   std::size_t pending_count(CoreId core) const;
 
+  // Fault-injection seam: consulted before routing secure-group IRQs.
+  void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
+
+  // IRQs swallowed by the seam plus IRQs dropped at offline cores.
+  std::uint64_t dropped_irqs() const { return dropped_irqs_; }
+
   // WorldListener: drains pended interrupts at secure exit.
   void on_secure_entry(CoreId core, sim::Time when) override;
   void on_secure_exit(CoreId core, sim::Time when) override;
@@ -59,6 +67,8 @@ class InterruptController : public WorldListener {
 
   sim::Engine& engine_;
   std::vector<Core*> cores_;
+  FaultHooks* fault_hooks_ = nullptr;
+  std::uint64_t dropped_irqs_ = 0;
   std::map<IrqId, IrqGroup> groups_;
   Handler secure_handler_;
   Handler nonsecure_handler_;

@@ -70,6 +70,12 @@ Memory::ScanToken Memory::begin_scan(sim::Time start, std::size_t offset,
   scan.length = length;
   scan.per_byte_ps = per_byte_ps;
   scan.view.assign(bytes_.begin() + offset, bytes_.begin() + offset + length);
+  // Fault seam: a transient read glitch corrupts what this scan observes,
+  // never the backing bytes. Resolved at scan start so racing writes still
+  // apply on top of the (possibly corrupted) view deterministically.
+  if (fault_hooks_ != nullptr) {
+    fault_hooks_->corrupt_scan_view(start, offset, scan.view);
+  }
   scans_.push_back(std::move(scan));
   return ScanToken(scans_.back().id);
 }

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "hw/fault_hooks.h"
 #include "sim/time.h"
 
 namespace satin::hw {
@@ -70,6 +71,11 @@ class Memory {
   // Total timed writes observed (diagnostics).
   std::uint64_t write_count() const { return write_count_; }
 
+  // Fault-injection seam: consulted as each scan registers its view; may
+  // flip bits in what the scanner will observe (transient read glitch —
+  // the backing bytes stay intact, so a re-read comes back clean).
+  void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
+
  private:
   struct ActiveScan {
     std::uint64_t id;
@@ -81,6 +87,7 @@ class Memory {
   };
 
   std::vector<std::uint8_t> bytes_;
+  FaultHooks* fault_hooks_ = nullptr;
   std::list<ActiveScan> scans_;
   std::uint64_t next_scan_id_ = 1;
   std::uint64_t write_count_ = 0;

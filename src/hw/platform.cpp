@@ -33,6 +33,14 @@ Platform::Platform(const PlatformConfig& config)
       [this](CoreId core, IrqId irq) { monitor_->on_secure_irq(core, irq); });
 }
 
+void Platform::install_fault_hooks(FaultHooks* hooks) {
+  fault_hooks_ = hooks;
+  timer_->set_fault_hooks(hooks);
+  gic_->set_fault_hooks(hooks);
+  monitor_->set_fault_hooks(hooks);
+  memory_->set_fault_hooks(hooks);
+}
+
 std::vector<Core*> Platform::core_ptrs() {
   std::vector<Core*> out;
   out.reserve(cores_.size());

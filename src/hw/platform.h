@@ -58,12 +58,19 @@ class Platform {
   InterruptController& gic() { return *gic_; }
   SecureMonitor& monitor() { return *monitor_; }
 
+  // Installs (or, with null, removes) one FaultHooks instance on every
+  // block that has a seam: timer, GIC, monitor, memory. The hooks object
+  // must outlive the platform or be uninstalled first.
+  void install_fault_hooks(FaultHooks* hooks);
+  FaultHooks* fault_hooks() const { return fault_hooks_; }
+
   sim::Time now() const { return engine_.now(); }
 
  private:
   PlatformConfig config_;
   sim::Engine engine_;
   sim::Rng rng_;
+  FaultHooks* fault_hooks_ = nullptr;
   std::vector<std::unique_ptr<Core>> cores_;
   std::unique_ptr<Memory> memory_;
   std::unique_ptr<GenericTimer> timer_;

@@ -35,6 +35,16 @@ void SecureMonitor::on_secure_irq(CoreId core_id, IrqId irq) {
     // here would mean re-entrancy.
     throw std::logic_error("secure irq delivered to core already in secure");
   }
+  // Fault seam: the switch into the secure world can fail (aborted SMC /
+  // stuck context save). The core stays in the normal world; whoever
+  // programmed the wake must notice the round never happened.
+  if (fault_hooks_ != nullptr && fault_hooks_->fail_secure_entry(core_id)) {
+    ++failed_entries_;
+    SATIN_METRIC_INC("hw.secure_entry_failures");
+    SATIN_LOG(kInfo) << "monitor: secure entry on core " << core_id
+                     << " failed (fault)";
+    return;
+  }
   const sim::Time entry = engine_.now();
   SATIN_TRACE_INSTANT("hw", "secure_timer_irq", entry, core_id,
                       obs::kWorldSecure);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "hw/core.h"
+#include "hw/fault_hooks.h"
 #include "hw/timing_params.h"
 #include "hw/types.h"
 #include "sim/engine.h"
@@ -70,6 +71,12 @@ class SecureMonitor {
   sim::Duration last_switch_duration() const { return last_switch_; }
   std::uint64_t world_switches() const { return switches_; }
 
+  // Fault-injection seam: consulted before entering the secure world.
+  void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
+
+  // Secure entries aborted by an installed FaultHooks.
+  std::uint64_t failed_entries() const { return failed_entries_; }
+
   sim::Duration sample_switch() {
     last_switch_ = timing_.sample_switch(rng_);
     ++switches_;
@@ -84,6 +91,8 @@ class SecureMonitor {
   sim::Rng& rng_;
   const TimingParams& timing_;
   std::vector<Core*> cores_;
+  FaultHooks* fault_hooks_ = nullptr;
+  std::uint64_t failed_entries_ = 0;
   SecurePayload payload_;
   sim::Duration last_switch_;
   std::uint64_t switches_ = 0;

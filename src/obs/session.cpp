@@ -51,6 +51,7 @@ std::string take_flag(int& argc, char** argv, const char* key) {
 ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity) {
   trace_path_ = take_flag(argc, argv, "trace");
   metrics_path_ = take_flag(argc, argv, "metrics");
+  faults_spec_ = take_flag(argc, argv, "faults");
   // One flag should yield the full picture: a trace without an explicit
   // metrics path still drops a snapshot next to it.
   if (!trace_path_.empty() && metrics_path_.empty()) {

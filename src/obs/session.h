@@ -36,9 +36,11 @@ void snapshot_engine_metrics(const sim::Engine& engine,
 
 class ObsSession {
  public:
-  // Consumes --trace= / --metrics= from argv (argc is rewritten). When
-  // neither flag is present the session installs nothing and costs
-  // nothing.
+  // Consumes --trace= / --metrics= / --faults= from argv (argc is
+  // rewritten). When no flag is present the session installs nothing and
+  // costs nothing. The faults spec is only stripped and stored — the obs
+  // layer knows nothing about fault injection; pass faults_spec() to
+  // fault::install_from_spec() to arm it.
   ObsSession(int& argc, char** argv,
              std::size_t trace_capacity = 1u << 20);
   ~ObsSession();
@@ -48,8 +50,10 @@ class ObsSession {
 
   bool trace_enabled() const { return recorder_ != nullptr; }
   bool metrics_enabled() const { return registry_ != nullptr; }
+  bool faults_requested() const { return !faults_spec_.empty(); }
   const std::string& trace_path() const { return trace_path_; }
   const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& faults_spec() const { return faults_spec_; }
 
   TraceRecorder* recorder() { return recorder_.get(); }
   MetricsRegistry* registry() { return registry_.get(); }
@@ -63,6 +67,7 @@ class ObsSession {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string faults_spec_;
   std::unique_ptr<TraceRecorder> recorder_;
   std::unique_ptr<MetricsRegistry> registry_;
   bool flushed_ = false;

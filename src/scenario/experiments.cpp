@@ -84,9 +84,21 @@ DuelReport run_duel(Scenario& scenario, const DuelConfig& config) {
   report.prober_detections = static_cast<std::uint64_t>(detections.size());
   report.secure_stays = activity.stay_count();
 
+  report.confirmed_alarms =
+      satin.checker().alarm_count(core::AlarmKind::kConfirmed);
+  report.transient_alarms =
+      satin.checker().alarm_count(core::AlarmKind::kTransient);
+  report.watchdog_fires = satin.watchdog_fires();
+  report.scan_retries = satin.checker().retries_performed();
+
   const std::size_t gettid_offset =
       scenario.kernel().syscall_entry_offset(os::kGettidSyscallNr);
   report.target_area = satin.area_of_offset(gettid_offset);
+  for (const core::Alarm& a : satin.checker().alarms()) {
+    if (a.kind == core::AlarmKind::kConfirmed && a.area != report.target_area) {
+      ++report.benign_confirmed_alarms;
+    }
+  }
 
   sim::Time prev_target_entry;
   bool have_prev = false;

@@ -70,6 +70,15 @@ struct DuelReport {
   std::uint64_t evasions_started = 0;
   std::uint64_t rearms = 0;
   double sim_seconds = 0.0;
+  // Resilience bookkeeping (all zero unless SatinConfig::resilience opts
+  // in and/or a fault plan is armed).
+  std::uint64_t confirmed_alarms = 0;
+  std::uint64_t transient_alarms = 0;
+  // Confirmed-tamper alarms outside the target area: under bit-flip
+  // faults this must stay zero (transients never escalate to confirmed).
+  std::uint64_t benign_confirmed_alarms = 0;
+  std::uint64_t watchdog_fires = 0;
+  std::uint64_t scan_retries = 0;
 
   // §VI-B1 success criterion: every target-area round raised an alarm and
   // the prober had neither false positives nor false negatives.
@@ -80,6 +89,12 @@ struct DuelReport {
   // never alarmed.
   bool evader_always_escaped() const {
     return target_area_rounds > 0 && target_area_alarms == 0;
+  }
+  // Resilience success criterion: under a fault storm, every round over
+  // the tampered area still raised an alarm — confirmed or transient —
+  // i.e. injected faults caused no missed detection.
+  bool target_always_flagged() const {
+    return target_area_rounds > 0 && target_area_alarms == target_area_rounds;
   }
 };
 

@@ -1,0 +1,215 @@
+// SATIN self-healing: missed-wake watchdog, bounded scan retry with
+// transient-vs-confirmed classification, core-offline degradation, and
+// the empty-area guards.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "attack/rootkit.h"
+#include "core/integrity_checker.h"
+#include "core/satin.h"
+#include "fault/injector.h"
+#include "os/system_map.h"
+#include "scenario/scenario.h"
+
+namespace satin::core {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+TEST(SatinResilience, MisfiresStallSatinWithoutWatchdog) {
+  // Control case: every programmed wake in the first 15 s is dropped and
+  // nothing ever re-arms — SATIN silently dies.
+  scenario::Scenario s;
+  const auto injector =
+      fault::install_from_spec(s.platform(), "timer-misfire@0s+15s");
+  SatinConfig config;
+  config.tp_s = 1.0;
+  Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+  satin.start();
+  s.run_for(Duration::from_sec(40));
+  EXPECT_EQ(satin.rounds(), 0u);
+  EXPECT_EQ(satin.watchdog_fires(), 0u);
+}
+
+TEST(SatinResilience, WatchdogRecoversFromMisfires) {
+  // Same fault, watchdog on: overdue cores are re-armed and introspection
+  // resumes once the fault window closes.
+  scenario::Scenario s;
+  const auto injector =
+      fault::install_from_spec(s.platform(), "timer-misfire@0s+15s");
+  SatinConfig config;
+  config.tp_s = 1.0;
+  config.resilience.watchdog = true;
+  Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+  satin.start();
+  s.run_for(Duration::from_sec(40));
+  EXPECT_GT(satin.watchdog_fires(), 0u);
+  EXPECT_GE(satin.rounds(), 10u);
+}
+
+TEST(SatinResilience, WatchdogStaysQuietOnAHealthySystem) {
+  // No faults: the watchdog must never fire spuriously, and the round
+  // cadence must look exactly like a watchdog-less run.
+  scenario::Scenario s;
+  SatinConfig config;
+  config.tp_s = 0.5;
+  config.resilience.watchdog = true;
+  Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+  satin.start();
+  s.run_for(Duration::from_sec(60));
+  EXPECT_EQ(satin.watchdog_fires(), 0u);
+  EXPECT_GT(satin.rounds(), 60u);
+}
+
+TEST(SatinResilience, WatchdogRecoversLostIrqsAndFailedSmcs) {
+  scenario::Scenario s;
+  const auto injector = fault::install_from_spec(
+      s.platform(), "irq-lost@0s+8s:p=0.7,smc-fail@8s+8s:p=0.7");
+  SatinConfig config;
+  config.tp_s = 1.0;
+  config.resilience.watchdog = true;
+  Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+  satin.start();
+  s.run_for(Duration::from_sec(40));
+  EXPECT_GT(injector->injected_total(), 0u);
+  EXPECT_GE(satin.rounds(), 10u);
+}
+
+TEST(SatinResilience, BitFlipsClassifyTransientNeverConfirmed) {
+  // Each scan (rescans included) draws the flip independently, so a
+  // confirmed alarm needs 1 + max_scan_retries corruptions in a row.
+  // At p = 0.2 with 3 retries that is p^4 = 0.0016 per flipped round —
+  // for this seed every alarm stays transient, and each one proves at
+  // least one rescan ran before the round was cleared.
+  scenario::Scenario s;
+  const auto injector =
+      fault::install_from_spec(s.platform(), "bitflip@0s+1000s:p=0.2");
+  SatinConfig config;
+  config.tp_s = 0.5;
+  config.resilience.max_scan_retries = 3;
+  Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+  satin.start();
+  s.run_for(Duration::from_sec(60));
+  ASSERT_GT(satin.rounds(), 0u);
+  ASSERT_GT(injector->injected(fault::FaultKind::kBitFlip), 0u);
+  EXPECT_EQ(satin.checker().alarm_count(AlarmKind::kConfirmed), 0u);
+  EXPECT_GT(satin.checker().alarm_count(AlarmKind::kTransient), 0u);
+  EXPECT_GT(satin.checker().retries_performed(), 0u);
+  for (const Alarm& a : satin.checker().alarms()) {
+    EXPECT_EQ(a.kind, AlarmKind::kTransient);
+    EXPECT_GE(a.retries, 1);
+  }
+  for (const RoundRecord& r : satin.round_records()) {
+    if (r.alarm) {
+      EXPECT_TRUE(r.transient);
+    }
+  }
+}
+
+TEST(SatinResilience, PersistentTamperStaysConfirmedThroughRetries) {
+  // A real rootkit survives every rescan: the retry budget must not
+  // soften genuine detections into transients.
+  scenario::Scenario s;
+  SatinConfig config;
+  config.tp_s = 0.5;
+  config.resilience.max_scan_retries = 2;
+  Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+  satin.start();
+  attack::Rootkit rootkit(s.os(), s.platform().rng().fork("resilience"));
+  rootkit.add_gettid_trace();
+  rootkit.install();
+  while (satin.checker().check_count(14) == 0 &&
+         s.now() < Time::from_sec(60)) {
+    s.run_for(Duration::from_sec(1));
+  }
+  ASSERT_GT(satin.checker().check_count(14), 0u);
+  EXPECT_GT(satin.checker().alarm_count(AlarmKind::kConfirmed), 0u);
+  EXPECT_EQ(satin.checker().alarm_count(AlarmKind::kTransient), 0u);
+  for (const Alarm& a : satin.checker().alarms()) {
+    EXPECT_EQ(a.kind, AlarmKind::kConfirmed);
+    EXPECT_EQ(a.retries, 2);  // budget exhausted before confirming
+  }
+}
+
+TEST(SatinResilience, OfflineCoreDegradesAndResorbs) {
+  scenario::Scenario s;
+  const auto injector =
+      fault::install_from_spec(s.platform(), "core-off@5s+10s:core=1");
+  SatinConfig config;
+  config.tp_s = 0.5;
+  config.resilience.watchdog = true;
+  config.resilience.adapt_offline = true;
+  Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+  satin.start();
+  s.run_for(Duration::from_sec(40));
+  // Rounds kept flowing throughout (~2/s; be generous).
+  EXPECT_GE(satin.rounds(), 40u);
+  std::set<hw::CoreId> during_outage;
+  std::set<hw::CoreId> after_return;
+  for (const RoundRecord& r : satin.round_records()) {
+    // Interior margins: the drop/resorb happens on watchdog ticks, not
+    // exactly at the window edges.
+    if (r.entry > Time::from_sec(7) && r.entry < Time::from_sec(15)) {
+      during_outage.insert(r.core);
+    }
+    if (r.entry > Time::from_sec(20)) after_return.insert(r.core);
+  }
+  EXPECT_EQ(during_outage.count(1), 0u)
+      << "no round may run on the powered-off core";
+  EXPECT_GE(during_outage.size(), 4u) << "survivors keep introspecting";
+  EXPECT_EQ(after_return.count(1), 1u) << "core 1 must rejoin the rotation";
+}
+
+TEST(SatinResilience, ResilienceKnobsOffAreBitIdenticalToBaseline) {
+  // An explicitly default ResilienceConfig must not change a single draw.
+  auto entries = [](const SatinConfig& config) {
+    scenario::Scenario s;
+    Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+    satin.start();
+    s.run_for(Duration::from_sec(30));
+    std::vector<Time> out;
+    for (const RoundRecord& r : satin.round_records()) out.push_back(r.entry);
+    return out;
+  };
+  SatinConfig base;
+  base.tp_s = 0.5;
+  SatinConfig explicit_off = base;
+  explicit_off.resilience = ResilienceConfig{};
+  const auto a = entries(base);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, entries(explicit_off));
+}
+
+TEST(SatinResilience, EmptyAreaSetFailsFastWithClearError) {
+  // Every path that could hand SATIN zero areas is rejected before any
+  // round can divide by the area count.
+  scenario::Scenario s;
+  EXPECT_THROW(IntegrityChecker(s.platform(), s.kernel(), {}),
+               std::invalid_argument);
+  // A constructed Satin always has a positive area count, and the
+  // full-cycle counter is well-defined from round zero.
+  Satin satin(s.platform(), s.kernel(), s.tsp(), SatinConfig{});
+  ASSERT_GT(satin.area_count(), 0);
+  EXPECT_EQ(satin.full_cycles(), 0u);
+}
+
+TEST(SatinResilience, WatchdogChainStopsWithSatin) {
+  scenario::Scenario s;
+  SatinConfig config;
+  config.tp_s = 0.5;
+  config.resilience.watchdog = true;
+  Satin satin(s.platform(), s.kernel(), s.tsp(), config);
+  satin.start();
+  s.run_for(Duration::from_sec(5));
+  satin.stop();
+  const std::uint64_t rounds = satin.rounds();
+  s.run_for(Duration::from_sec(10));
+  EXPECT_EQ(satin.rounds(), rounds);
+  EXPECT_EQ(satin.watchdog_fires(), 0u);
+}
+
+}  // namespace
+}  // namespace satin::core

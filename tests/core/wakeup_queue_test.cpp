@@ -141,5 +141,118 @@ TEST(WakeUpQueue, Validation) {
   EXPECT_THROW(q.next_wake_for(6, Time::zero()), std::out_of_range);
 }
 
+TEST(WakeUpQueue, OfflineCoreCannotExtract) {
+  WakeUpQueue q = make_queue(1.0);
+  q.boot_times(Time::zero());
+  q.set_core_online(2, false);
+  EXPECT_THROW(q.next_wake_for(2, Time::from_sec(1)), std::logic_error);
+  q.set_core_online(2, true);
+  EXPECT_GT(q.next_wake_for(2, Time::from_sec(1)), Time::zero());
+}
+
+TEST(WakeUpQueue, AllCoresOfflineThrowsInsteadOfDeadlocking) {
+  WakeUpQueue q = make_queue(1.0);
+  for (int c = 0; c < 6; ++c) q.set_core_online(c, false);
+  EXPECT_EQ(q.online_count(), 0);
+  EXPECT_THROW(q.boot_times(Time::zero()), std::logic_error);
+}
+
+TEST(WakeUpQueue, SingleSurvivorGetsEveryGenerationWithBoundedGaps) {
+  // Five of six cores die: the survivor must keep pulling slots forever,
+  // and its round gaps must stay within the [0, 2*tp] envelope — the
+  // system-wide cadence survives the degradation.
+  WakeUpQueue q = make_queue(1.0);
+  const auto boot = q.boot_times(Time::zero());
+  for (int c = 1; c < 6; ++c) q.set_core_online(c, false);
+  EXPECT_EQ(q.online_count(), 1);
+  // (The hop from the survivor's boot slot over the dead cores' unused
+  // boot slots may exceed 2*tp once; steady state must not.)
+  std::vector<Time> wakes{q.next_wake_for(0, boot[0])};
+  for (int i = 0; i < 200; ++i) {
+    wakes.push_back(q.next_wake_for(0, wakes.back()));
+  }
+  for (std::size_t i = 1; i < wakes.size(); ++i) {
+    const double gap = (wakes[i] - wakes[i - 1]).sec();
+    EXPECT_GE(gap, 0.0);
+    EXPECT_LE(gap, 2.0 + 1e-9);
+  }
+}
+
+TEST(WakeUpQueue, OfflineCoreIsExcludedFromNewGenerations) {
+  // While core 4 is down, the other five pull whole generations; none of
+  // those slots may be booked for core 4, so when it returns it skips
+  // straight past them to a generation that includes it.
+  WakeUpQueue q = make_queue(1.0);
+  q.set_randomized(false);  // strictly periodic: deterministic slot times
+  q.boot_times(Time::zero());
+  q.set_core_online(4, false);
+  Time last = Time::zero();
+  for (int gen = 0; gen < 5; ++gen) {
+    for (int c = 0; c < 6; ++c) {
+      if (c == 4) continue;
+      last = std::max(last, q.next_wake_for(c, Time::from_sec(100)));
+    }
+  }
+  q.set_core_online(4, true);
+  // The resorbed core's next wake lands after every slot handed out to
+  // the survivors while it was away — it never steals a booked slot.
+  EXPECT_GT(q.next_wake_for(4, Time::from_sec(100)), last);
+}
+
+TEST(WakeUpQueue, ReturningCoreResorbsWithoutDoubleBooking) {
+  // Deterministic mode makes every slot time unique by construction, so a
+  // duplicate extracted time would prove a double-booked slot.
+  WakeUpQueue q = make_queue(1.0);
+  q.set_randomized(false);
+  const auto boot = q.boot_times(Time::zero());
+  std::vector<Time> all(boot.begin(), boot.end());
+  q.set_core_online(2, false);
+  for (int gen = 0; gen < 3; ++gen) {
+    for (int c = 0; c < 6; ++c) {
+      if (c == 2) continue;
+      all.push_back(q.next_wake_for(c, Time::from_sec(100)));
+    }
+  }
+  q.set_core_online(2, true);
+  for (int gen = 0; gen < 3; ++gen) {
+    for (int c = 0; c < 6; ++c) {
+      all.push_back(q.next_wake_for(c, Time::from_sec(100)));
+    }
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "two cores were handed the same slot";
+}
+
+TEST(WakeUpQueue, ToggleBeforeBootMatchesAFreshQueue) {
+  // Taking a core down and back up before any generation exists must not
+  // consume a single RNG draw: the schedule stays bit-identical.
+  WakeUpQueue toggled = make_queue(4.0);
+  toggled.set_core_online(3, false);
+  toggled.set_core_online(3, true);
+  WakeUpQueue fresh = make_queue(4.0);
+  const auto boot_a = toggled.boot_times(Time::zero());
+  const auto boot_b = fresh.boot_times(Time::zero());
+  EXPECT_EQ(boot_a, boot_b);
+  for (int gen = 0; gen < 10; ++gen) {
+    for (int c = 0; c < 6; ++c) {
+      EXPECT_EQ(toggled.next_wake_for(c, Time::from_sec(100)),
+                fresh.next_wake_for(c, Time::from_sec(100)));
+    }
+  }
+}
+
+TEST(WakeUpQueue, OnlineValidation) {
+  WakeUpQueue q = make_queue();
+  EXPECT_THROW(q.set_core_online(-1, false), std::out_of_range);
+  EXPECT_THROW(q.set_core_online(6, false), std::out_of_range);
+  EXPECT_THROW(q.core_online(-1), std::out_of_range);
+  EXPECT_TRUE(q.core_online(0));
+  EXPECT_EQ(q.online_count(), 6);
+  q.set_core_online(5, false);
+  EXPECT_FALSE(q.core_online(5));
+  EXPECT_EQ(q.online_count(), 5);
+}
+
 }  // namespace
 }  // namespace satin::core

@@ -81,6 +81,9 @@ std::map<int, std::pair<int, int>> span_balance(
 }
 
 TEST(ObsIntegrationTest, QuickstartTraceTellsACoherentStory) {
+#if !SATIN_OBS_ENABLED
+  GTEST_SKIP() << "instrumentation compiled out (SATIN_ENABLE_OBS=OFF)";
+#endif
   const RunResult run = run_quickstart_traced();
 
   // The simulation did real work and the counters saw it.

@@ -1,0 +1,136 @@
+// Engine stress: callbacks that cancel and reschedule other events (and
+// themselves) mid-run, determinism of the resulting storm for a fixed
+// seed, and handle safety after events fire.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace satin::sim {
+namespace {
+
+// A self-perturbing event storm: every firing event records itself, then
+// randomly cancels a live handle (possibly its own, already-fired one)
+// and schedules a replacement. Exercises cancel-while-queued,
+// cancel-after-fire, and schedule-from-callback all at once.
+struct Storm {
+  explicit Storm(std::uint64_t seed) : rng(seed) {}
+
+  Engine engine;
+  Rng rng;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  int next_id = 0;
+  int spawned = 0;
+  static constexpr int kMaxSpawns = 600;
+
+  void spawn(Duration delay) {
+    if (spawned >= kMaxSpawns) return;
+    ++spawned;
+    const int id = next_id++;
+    handles.push_back(engine.schedule_after(delay, [this, id] { fire(id); }));
+  }
+
+  void fire(int id) {
+    fired.push_back(id);
+    // Cancel a pseudo-random handle: may be pending, may have fired long
+    // ago, may be the very handle running this callback.
+    EventHandle& victim = handles[rng.index(handles.size())];
+    victim.cancel();
+    EXPECT_FALSE(victim.pending());
+    // Replace it with up to two descendants.
+    spawn(Duration::from_us(static_cast<std::int64_t>(rng.index(500)) + 1));
+    if (rng.bernoulli(0.4)) {
+      spawn(Duration::from_us(static_cast<std::int64_t>(rng.index(500)) + 1));
+    }
+  }
+
+  void run(std::uint64_t initial) {
+    for (std::uint64_t i = 0; i < initial; ++i) {
+      spawn(Duration::from_us(static_cast<std::int64_t>(rng.index(200)) + 1));
+    }
+    engine.run_all();
+  }
+};
+
+TEST(EngineStress, CancelAndRescheduleFromCallbacksTerminates) {
+  Storm storm(17);
+  storm.run(20);
+  EXPECT_EQ(storm.engine.pending_count(), 0u);
+  EXPECT_FALSE(storm.fired.empty());
+  EXPECT_LE(storm.fired.size(),
+            static_cast<std::size_t>(Storm::kMaxSpawns));
+  // Nothing fires twice: every id in the log is unique.
+  std::vector<int> ids = storm.fired;
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(EngineStress, StormIsDeterministicForAFixedSeed) {
+  Storm a(99), b(99);
+  a.run(25);
+  b.run(25);
+  EXPECT_EQ(a.fired, b.fired);
+  EXPECT_EQ(a.engine.now(), b.engine.now());
+  EXPECT_EQ(a.engine.events_fired(), b.engine.events_fired());
+  EXPECT_EQ(a.engine.cancelled_popped(), b.engine.cancelled_popped());
+}
+
+TEST(EngineStress, DifferentSeedsDiverge) {
+  Storm a(1), b(2);
+  a.run(25);
+  b.run(25);
+  EXPECT_NE(a.fired, b.fired);
+}
+
+TEST(EngineStress, HandlesStaySafeAfterTheirEventsFired) {
+  // Handles outlive their events (shared state, no dangling): querying
+  // and cancelling long-fired or long-cancelled handles is benign.
+  Storm storm(5);
+  storm.run(20);
+  for (EventHandle& h : storm.handles) {
+    EXPECT_FALSE(h.pending());
+    const Time when = h.when();
+    EXPECT_GE(when, Time::zero());
+    h.cancel();  // idempotent on fired/cancelled events
+    EXPECT_FALSE(h.pending());
+  }
+}
+
+TEST(EngineStress, SelfCancellationInsideOwnCallbackIsBenign) {
+  Engine engine;
+  EventHandle self;
+  bool ran = false;
+  self = engine.schedule_after(Duration::from_us(1), [&] {
+    ran = true;
+    self.cancel();  // already firing: must be a no-op, not a crash
+    EXPECT_FALSE(self.pending());
+  });
+  engine.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(self.pending());
+}
+
+TEST(EngineStress, CancelledEventsNeverFireEvenWhenCancelledMidRun) {
+  Engine engine;
+  int fired = 0;
+  std::vector<EventHandle> victims;
+  victims.reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    victims.push_back(
+        engine.schedule_at(Time::from_us(100 + i), [&fired] { ++fired; }));
+  }
+  // One early event cancels every other victim from inside the run.
+  engine.schedule_at(Time::from_us(50), [&victims] {
+    for (std::size_t i = 0; i < victims.size(); i += 2) victims[i].cancel();
+  });
+  engine.run_all();
+  EXPECT_EQ(fired, 25);
+}
+
+}  // namespace
+}  // namespace satin::sim
