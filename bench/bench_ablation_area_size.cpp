@@ -4,15 +4,32 @@
 // (1,218,351 B). Sweeping the partition granularity moves the hijacked
 // entry's depth inside its area: once its scan-touch time exceeds the
 // evader's hide time, detection collapses. Each setting runs an
-// event-driven duel; the crossover should straddle the closed-form bound.
+// event-driven duel (its own Scenario, one trial per partitioning, fanned
+// over --jobs=J workers); the crossover should straddle the closed-form
+// bound. Every trial keeps the default platform seed — the sweep is a
+// paired comparison across partitionings, not a seed study.
 #include "bench/common.h"
 #include "core/race_model.h"
 #include "os/system_map.h"
 #include "scenario/experiments.h"
+#include "sim/parallel.h"
+
+namespace {
+
+struct AblationRow {
+  double max_size = 0.0;
+  double checks = 0.0;
+  double alarms = 0.0;
+  double rate = 0.0;
+  std::size_t depth = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
+  const int jobs = obs.jobs(/*fallback=*/1);
   const std::size_t bound =
       core::max_safe_area_bytes(core::worst_case_params(hw::TimingParams{}));
   bench::heading("Ablation: area size vs TZ-Evader detection");
@@ -31,42 +48,58 @@ int main(int argc, char** argv) {
                   "(slowest core; in between: probabilistic)");
   bench::columns("areas", {"max-size", "checks", "alarms", "rate"});
 
-  for (int target : {19, 12, 10, 8, 6, 3, 1}) {
-    scenario::Scenario scenario;
-    scenario::DuelConfig duel;
-    if (target == 1) {
-      duel.satin.whole_kernel_single_area = true;
-    } else {
-      duel.satin.areas_override = core::partition_even(
-          scenario.kernel().map(), /*max_bytes=*/12'000'000, target);
-    }
-    duel.satin.tp_s = 1.0;
-    duel.rounds_target = static_cast<std::uint64_t>(5 * target);
-    const auto report = scenario::run_duel(scenario, duel);
-    const std::size_t max_size =
-        target == 1 ? scenario.kernel().size()
-                    : core::largest_area(duel.satin.areas_override);
-    // What decides the race is the hijack's depth inside its own area.
-    const std::size_t table_off =
-        scenario.kernel().syscall_entry_offset(os::kGettidSyscallNr);
-    std::size_t depth = table_off;
-    for (const auto& a : duel.satin.areas_override) {
-      if (table_off >= a.offset && table_off < a.end()) {
-        depth = table_off - a.offset;
-      }
-    }
-    const double rate =
-        report.target_area_rounds == 0
-            ? 0.0
-            : static_cast<double>(report.target_area_alarms) /
-                  static_cast<double>(report.target_area_rounds);
-    bench::sci_row(std::to_string(target),
-                   {static_cast<double>(max_size),
-                    static_cast<double>(report.target_area_rounds),
-                    static_cast<double>(report.target_area_alarms), rate},
-                   (depth <= bound ? "(depth " : "(DEPTH ") +
-                       std::to_string(depth) +
-                       (depth <= bound ? " within bound)" : " OVER bound)"));
+  const int targets[] = {19, 12, 10, 8, 6, 3, 1};
+  constexpr std::size_t kTargets = sizeof(targets) / sizeof(targets[0]);
+  sim::TrialRunnerOptions options;
+  options.jobs = jobs;
+  sim::TrialRunner runner(options);
+  const std::vector<AblationRow> rows = runner.run_collect(
+      kTargets, [&targets](const sim::TrialContext& ctx) {
+        const int target = targets[ctx.index];
+        scenario::Scenario scenario;
+        scenario::DuelConfig duel;
+        if (target == 1) {
+          duel.satin.whole_kernel_single_area = true;
+        } else {
+          duel.satin.areas_override = core::partition_even(
+              scenario.kernel().map(), /*max_bytes=*/12'000'000, target);
+        }
+        duel.satin.tp_s = 1.0;
+        duel.rounds_target = static_cast<std::uint64_t>(5 * target);
+        const auto report = scenario::run_duel(scenario, duel);
+        AblationRow row;
+        row.max_size = static_cast<double>(
+            target == 1 ? scenario.kernel().size()
+                        : core::largest_area(duel.satin.areas_override));
+        // What decides the race is the hijack's depth inside its own area.
+        const std::size_t table_off =
+            scenario.kernel().syscall_entry_offset(os::kGettidSyscallNr);
+        row.depth = table_off;
+        for (const auto& a : duel.satin.areas_override) {
+          if (table_off >= a.offset && table_off < a.end()) {
+            row.depth = table_off - a.offset;
+          }
+        }
+        row.checks = static_cast<double>(report.target_area_rounds);
+        row.alarms = static_cast<double>(report.target_area_alarms);
+        row.rate = report.target_area_rounds == 0
+                       ? 0.0
+                       : static_cast<double>(report.target_area_alarms) /
+                             static_cast<double>(report.target_area_rounds);
+        if (auto* registry = obs::metrics()) {
+          obs::snapshot_engine_metrics(scenario.engine(), *registry,
+                                       /*include_wall=*/false);
+        }
+        return row;
+      });
+
+  for (std::size_t i = 0; i < kTargets; ++i) {
+    const AblationRow& row = rows[i];
+    bench::sci_row(std::to_string(targets[i]),
+                   {row.max_size, row.checks, row.alarms, row.rate},
+                   (row.depth <= bound ? "(depth " : "(DEPTH ") +
+                       std::to_string(row.depth) +
+                       (row.depth <= bound ? " within bound)" : " OVER bound)"));
   }
   std::printf(
       "\nthe determinant is the hijack's DEPTH inside its area: depths\n"
@@ -75,5 +108,7 @@ int main(int argc, char** argv) {
       "draw still reaches the byte — and to 0%% for the whole-kernel\n"
       "pass. The paper's 19-area layout keeps every possible depth under\n"
       "the bound.\n");
+  bench::json_row("bench_ablation_area_size", runner.trials_run(), jobs,
+                  runner.wall_seconds());
   return 0;
 }

@@ -5,11 +5,16 @@
 // (b) Randomized wake-ups defeat the same oracle schedule.
 // (c) Pinning introspection to one core quarters the attacker's probing
 //     threshold (faster, more reliable detection of the defender).
+//
+// The two oracle duels and the two threshold periods each run as an
+// independent trial over --jobs=J workers; seeds are fixed per trial, so
+// the output is bit-identical for any J.
 #include "attack/predictor.h"
 #include "attack/threshold_sampler.h"
 #include "bench/common.h"
 #include "core/satin.h"
 #include "scenario/scenario.h"
+#include "sim/parallel.h"
 #include "sim/stats.h"
 
 namespace satin {
@@ -33,8 +38,17 @@ std::pair<std::uint64_t, std::uint64_t> oracle_attack(bool randomize_wake,
   attacker.deploy();
   s.run_for(sim::Duration::from_sec(seconds + 1));
   satin.stop();
+  if (auto* registry = obs::metrics()) {
+    obs::snapshot_engine_metrics(s.engine(), *registry,
+                                 /*include_wall=*/false);
+  }
   return {satin.alarm_count(), satin.rounds()};
 }
+
+struct ThresholdRow {
+  double mean_one = 0.0;
+  double mean_all = 0.0;
+};
 
 }  // namespace
 }  // namespace satin
@@ -42,11 +56,21 @@ std::pair<std::uint64_t, std::uint64_t> oracle_attack(bool randomize_wake,
 int main(int argc, char** argv) {
   satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
+  const int jobs = obs.jobs(/*fallback=*/1);
   bench::heading("Ablation: randomization knobs");
 
+  sim::TrialRunnerOptions options;
+  options.jobs = jobs;
+  sim::TrialRunner runner(options);
+
   // The randomized run is longer so area 14 gets several checks.
-  const auto periodic = oracle_attack(false, 60);
-  const auto randomized = oracle_attack(true, 150);
+  const auto duels = runner.run_collect(
+      std::size_t{2}, [](const sim::TrialContext& ctx) {
+        return ctx.index == 0 ? oracle_attack(false, 60)
+                              : oracle_attack(true, 150);
+      });
+  const auto& periodic = duels[0];
+  const auto& randomized = duels[1];
   bench::subheading("(a)/(b) prediction attack vs wake-up policy");
   bench::text_row("periodic: alarms/rounds",
                   std::to_string(periodic.first) + "/" +
@@ -59,22 +83,31 @@ int main(int argc, char** argv) {
 
   bench::subheading("(c) probing threshold: fixed core vs all cores");
   hw::TimingParams timing;
-  for (double period : {8.0, 120.0}) {
-    attack::ThresholdSampler all(timing.cross_core, sim::Rng(3), 6);
-    attack::ThresholdSampler one(timing.cross_core, sim::Rng(3), 1);
-    sim::Accumulator acc_all, acc_one;
-    for (int i = 0; i < 200; ++i) {
-      acc_all.add(all.sample_window_max_seconds(period));
-      acc_one.add(one.sample_window_max_seconds(period));
-    }
-    bench::sci_row("period " + std::to_string(static_cast<int>(period)) + " s",
-                   {acc_one.mean(), acc_all.mean(),
-                    acc_one.mean() / acc_all.mean()},
-                   "(fixed-core, all-core, ratio; paper: ~1/4)");
+  const double periods[] = {8.0, 120.0};
+  const auto threshold_rows = runner.run_collect(
+      std::size_t{2}, [&timing, &periods](const sim::TrialContext& ctx) {
+        const double period = periods[ctx.index];
+        attack::ThresholdSampler all(timing.cross_core, sim::Rng(3), 6);
+        attack::ThresholdSampler one(timing.cross_core, sim::Rng(3), 1);
+        sim::Accumulator acc_all, acc_one;
+        for (int i = 0; i < 200; ++i) {
+          acc_all.add(all.sample_window_max_seconds(period));
+          acc_one.add(one.sample_window_max_seconds(period));
+        }
+        return ThresholdRow{acc_one.mean(), acc_all.mean()};
+      });
+  for (std::size_t i = 0; i < 2; ++i) {
+    bench::sci_row(
+        "period " + std::to_string(static_cast<int>(periods[i])) + " s",
+        {threshold_rows[i].mean_one, threshold_rows[i].mean_all,
+         threshold_rows[i].mean_one / threshold_rows[i].mean_all},
+        "(fixed-core, all-core, ratio; paper: ~1/4)");
   }
   std::printf(
       "\na predictable CPU affinity hands the attacker a 4x sharper\n"
       "side channel (§IV-B2) — SATIN therefore randomizes the core, the\n"
       "wake time AND the area (§V).\n");
+  bench::json_row("bench_ablation_randomization", runner.trials_run(), jobs,
+                  runner.wall_seconds());
   return 0;
 }

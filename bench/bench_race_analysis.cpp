@@ -2,14 +2,19 @@
 //
 // Reproduces the closed-form bound (S <= 1,218,351 bytes; ~90% of the
 // 11,916,240-byte kernel unprotected by a whole-kernel pass), a Monte
-// Carlo over sampled timings, and two event-driven spot duels against the
-// PKM baseline: the GETTID hijack (deep in the kernel) escapes; a trace
-// planted inside the first ~1.2 MB is caught.
+// Carlo over sampled timings, and event-driven spot duels against the
+// PKM baseline across a ladder of trace depths: hijacks deep in the
+// kernel (the GETTID entry among them) escape; traces inside the first
+// ~1.2 MB are caught.
+//
+// Monte-Carlo batches and duels fan out over --jobs=J workers through
+// sim::TrialRunner; the printed rows are bit-identical for any J.
 #include "attack/evader.h"
 #include "bench/common.h"
 #include "core/race_model.h"
 #include "core/satin.h"
 #include "scenario/experiments.h"
+#include "sim/parallel.h"
 #include "sim/stats.h"
 
 namespace satin {
@@ -58,31 +63,19 @@ bool baseline_catches_trace_at(std::size_t offset) {
   kit.install();
   while (baseline.rounds() < 6) s.run_for(sim::Duration::from_sec(1));
   baseline.stop();
+  if (auto* registry = obs::metrics()) {
+    obs::snapshot_engine_metrics(s.engine(), *registry,
+                                 /*include_wall=*/false);
+  }
   return baseline.alarm_count() > 0;
 }
 
-}  // namespace
-}  // namespace satin
-
-int main(int argc, char** argv) {
-  satin::bench::ObsGuard obs(argc, argv);
-  using namespace satin;
-  hw::TimingParams timing;
-
-  bench::heading("Race-condition analysis (Eq. 1 / Eq. 2, §IV-C)");
-  const core::RaceParams worst = core::worst_case_params(timing);
-  const std::size_t bound = core::max_safe_area_bytes(worst);
-  bench::text_row("S bound (bytes)", std::to_string(bound),
-                  "(paper: 1218351)");
-  bench::text_row("kernel size (bytes)", "11916240");
-  bench::sci_row("unprotected fraction",
-                 {core::unprotected_fraction(worst, 11'916'240)},
-                 "(paper: ~90%)");
-
-  bench::subheading("Monte Carlo over sampled timings (100k draws)");
-  sim::Rng rng(11);
+// One Monte-Carlo batch: draws per batch from a seed that depends only on
+// (root seed, batch index), so the total is independent of --jobs.
+int mc_escapes(std::uint64_t seed, int draws,
+               const hw::TimingParams& timing) {
+  sim::Rng rng(seed);
   int escapes = 0;
-  const int draws = 100'000;
   for (int i = 0; i < draws; ++i) {
     core::RaceParams p;
     p.ts_switch_s = timing.sample_switch(rng).sec();
@@ -97,15 +90,78 @@ int main(int argc, char** argv) {
     const auto offset = static_cast<std::size_t>(rng.uniform_int(0, 11'916'239));
     if (core::attacker_escapes(p, offset)) ++escapes;
   }
+  return escapes;
+}
+
+}  // namespace
+}  // namespace satin
+
+int main(int argc, char** argv) {
+  satin::bench::ObsGuard obs(argc, argv);
+  using namespace satin;
+  hw::TimingParams timing;
+  const int jobs = obs.jobs(/*fallback=*/1);
+
+  bench::heading("Race-condition analysis (Eq. 1 / Eq. 2, §IV-C)");
+  const core::RaceParams worst = core::worst_case_params(timing);
+  const std::size_t bound = core::max_safe_area_bytes(worst);
+  bench::text_row("S bound (bytes)", std::to_string(bound),
+                  "(paper: 1218351)");
+  bench::text_row("kernel size (bytes)", "11916240");
+  bench::sci_row("unprotected fraction",
+                 {core::unprotected_fraction(worst, 11'916'240)},
+                 "(paper: ~90%)");
+
+  bench::subheading("Monte Carlo over sampled timings (100k draws)");
+  constexpr int kBatches = 100;
+  constexpr int kDrawsPerBatch = 1'000;
+  sim::TrialRunnerOptions mc_options;
+  mc_options.jobs = jobs;
+  mc_options.root_seed = 11;
+  sim::TrialRunner mc_runner(mc_options);
+  const std::vector<int> batch_escapes = mc_runner.run_collect(
+      kBatches, [&timing](const sim::TrialContext& ctx) {
+        return mc_escapes(ctx.seed, kDrawsPerBatch, timing);
+      });
+  int escapes = 0;
+  for (int e : batch_escapes) escapes += e;
+  const int draws = kBatches * kDrawsPerBatch;
   bench::sci_row("evasion success vs full-kernel pass",
                  {static_cast<double>(escapes) / draws}, "(paper: ~0.90)");
 
   bench::subheading("Event-driven spot duels vs PKM baseline");
-  const bool deep = baseline_catches_trace_at(9'558'264);  // sys_call_table
-  const bool shallow = baseline_catches_trace_at(400'000);
-  bench::text_row("trace at 9,558,264 (gettid)", deep ? "CAUGHT" : "escapes",
-                  "(paper: escapes — outside the first ~1.2 MB)");
-  bench::text_row("trace at 400,000", shallow ? "CAUGHT" : "escapes",
-                  "(inside the protected prefix)");
+  // A ladder of trace depths straddling the Eq.-2 bound; every duel is an
+  // independent trial (own Scenario), fanned over the worker pool.
+  struct Probe {
+    std::size_t offset;
+    const char* note;
+  };
+  const Probe probes[] = {
+      {9'558'264, "(paper: escapes — gettid, outside the first ~1.2 MB)"},
+      {6'000'000, "(deep half of the kernel)"},
+      {3'000'000, "(beyond the bound)"},
+      {2'000'000, "(beyond the bound)"},
+      {1'500'000, "(just beyond the bound)"},
+      {1'100'000, "(just inside the bound)"},
+      {400'000, "(inside the protected prefix)"},
+      {100'000, "(near the kernel base)"},
+  };
+  constexpr std::size_t kProbeCount = sizeof(probes) / sizeof(probes[0]);
+  sim::TrialRunnerOptions duel_options;
+  duel_options.jobs = jobs;
+  sim::TrialRunner duel_runner(duel_options);
+  const std::vector<char> caught = duel_runner.run_collect(
+      kProbeCount, [&probes](const sim::TrialContext& ctx) {
+        return static_cast<char>(
+            baseline_catches_trace_at(probes[ctx.index].offset));
+      });
+  for (std::size_t i = 0; i < kProbeCount; ++i) {
+    bench::text_row("trace at " + std::to_string(probes[i].offset),
+                    caught[i] ? "CAUGHT" : "escapes", probes[i].note);
+  }
+
+  bench::json_row("bench_race_analysis",
+                  mc_runner.trials_run() + duel_runner.trials_run(), jobs,
+                  mc_runner.wall_seconds() + duel_runner.wall_seconds());
   return 0;
 }

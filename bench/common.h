@@ -28,7 +28,7 @@ inline void subheading(const std::string& title) {
 }
 
 // A labelled row of scientific values with an optional paper reference.
-inline void sci_row(const std::string& label, std::vector<double> values,
+inline void sci_row(const std::string& label, const std::vector<double>& values,
                     const std::string& note = "") {
   std::printf("%-26s", label.c_str());
   for (double v : values) std::printf("  %11.3e", v);
@@ -48,6 +48,19 @@ inline void columns(const std::string& label,
   std::printf("%-26s", label.c_str());
   for (const auto& c : cols) std::printf("  %11s", c.c_str());
   std::printf("\n");
+}
+
+// Machine-readable timing record for scripts/run_benches.sh: one
+// `BENCHJSON {...}` line on STDERR. Stderr, never stdout: stdout (and the
+// metrics snapshot) must stay bit-identical across --jobs values, and
+// host wall-clock never is.
+inline void json_row(const std::string& bench, std::size_t trials, int jobs,
+                     double wall_s) {
+  const double rate = wall_s > 0.0 ? static_cast<double>(trials) / wall_s : 0.0;
+  std::fprintf(stderr,
+               "BENCHJSON {\"bench\":\"%s\",\"trials\":%zu,\"jobs\":%d,"
+               "\"wall_s\":%.6f,\"trials_per_s\":%.3f}\n",
+               bench.c_str(), trials, jobs, wall_s, rate);
 }
 
 }  // namespace satin::bench

@@ -9,24 +9,31 @@
 // (confirmed tamper), every injected bit-flip classifies transient, and
 // no benign area is ever confirmed tampered.
 //
-//   $ ./examples/fault_storm [-v] [--trace=out.json] [--faults=<spec>]
+//   $ ./examples/fault_storm [-v] [--replicas=N] [--jobs=J]
+//                            [--trace=out.json] [--faults=<spec>]
 //
 // Pass --faults= to replace the built-in storm (see src/fault/plan.h for
 // the spec grammar); --faults with an empty value runs fault-free.
+// --replicas=N repeats the duel under N storms (replica 0 is the storm of
+// record; later replicas re-seed the storm and the platform), fanned over
+// --jobs=J workers.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "fault/injector.h"
 #include "obs/session.h"
 #include "scenario/experiments.h"
 #include "sim/log.h"
+#include "sim/parallel.h"
 
 namespace {
 
 // Every class of fault the injector knows, overlapping across the run.
 // Windows sit inside the ~170 s the 57-round duel takes at tp = 3 s.
-constexpr char kDefaultStorm[] =
-    "seed=9,"
+// Replica i substitutes its own storm seed for the leading "seed=9".
+constexpr char kDefaultStormBody[] =
     "timer-misfire@5s+30s:p=0.35,"
     "irq-lost@20s+40s:p=0.3,"
     "smc-fail@45s+30s:p=0.25,"
@@ -35,19 +42,44 @@ constexpr char kDefaultStorm[] =
     "bitflip@10s+130s:p=0.12,"
     "core-off@110s+25s:core=3";
 
+struct ReplicaOutcome {
+  satin::scenario::DuelReport report;
+  std::uint64_t injected = 0;
+  bool ok = false;
+};
+
+// Strips a leading --replicas=N from argv (anywhere), like ObsSession
+// does for its own flags.
+std::size_t parse_replicas(int& argc, char** argv) {
+  std::size_t replicas = 1;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--replicas=", 11) == 0) {
+      replicas = static_cast<std::size_t>(
+          std::strtoull(argv[i] + 11, nullptr, 10));
+      if (replicas == 0) replicas = 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return replicas;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace satin;
 
-  scenario::Scenario system;
   obs::ObsSession obs(argc, argv);
+  const std::size_t replicas = parse_replicas(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "-v") == 0) {
     sim::set_log_level(sim::LogLevel::kInfo);
   }
-  const std::string spec =
-      obs.faults_requested() ? obs.faults_spec() : kDefaultStorm;
-  const auto injector = fault::install_from_spec(system.platform(), spec);
+  const bool custom_spec = obs.faults_requested();
+  const std::string spec0 = custom_spec
+                                ? obs.faults_spec()
+                                : "seed=9," + std::string(kDefaultStormBody);
 
   scenario::DuelConfig duel;
   duel.satin.tgoal_s = 57.0;  // tp = 3 s
@@ -59,17 +91,53 @@ int main(int argc, char** argv) {
   std::printf("defender: SATIN + self-healing (watchdog, 2 scan retries,\n");
   std::printf("          core-offline degradation)\n");
   std::printf("attacker: TZ-Evader, same as in satin_defense\n");
-  std::printf("faults:   %s\n\n",
-              injector ? injector->plan().to_string().c_str() : "(none)");
+  std::printf("faults:   %s\n",
+              spec0.empty() ? "(none)"
+                            : fault::FaultPlan::parse(spec0).to_string().c_str());
+  if (replicas > 1) {
+    std::printf("replicas: %zu (replica 0 above; others re-seeded)\n",
+                static_cast<size_t>(replicas));
+  }
+  std::printf("\n");
 
-  const auto report = scenario::run_duel(system, duel);
+  sim::TrialRunnerOptions options;
+  options.jobs = obs.jobs(/*fallback=*/1);
+  sim::TrialRunner runner(options);
+  const std::vector<ReplicaOutcome> outcomes = runner.run_collect(
+      replicas, [&](const sim::TrialContext& ctx) {
+        scenario::ScenarioConfig scenario_config;
+        std::string spec = spec0;
+        if (ctx.index > 0) {
+          // Later replicas vary both dice: the platform streams and (for
+          // the built-in storm) the injector's private stream.
+          scenario_config.platform.seed = ctx.seed;
+          if (!custom_spec) {
+            spec = "seed=" + std::to_string(9 + ctx.index) + "," +
+                   std::string(kDefaultStormBody);
+          }
+        }
+        scenario::Scenario system(scenario_config);
+        const auto injector = fault::install_from_spec(system.platform(), spec);
+        ReplicaOutcome out;
+        out.report = scenario::run_duel(system, duel);
+        out.injected = injector ? injector->injected_total() : 0;
+        out.ok = out.report.rounds >= duel.rounds_target &&
+                 out.report.target_always_flagged() &&
+                 out.report.benign_confirmed_alarms == 0;
+        if (auto* registry = obs::metrics()) {
+          obs::snapshot_engine_metrics(system.engine(), *registry,
+                                       /*include_wall=*/false);
+        }
+        return out;
+      });
 
+  const ReplicaOutcome& first = outcomes[0];
+  const scenario::DuelReport& report = first.report;
   std::printf("introspection rounds:           %llu (%llu full cycles)\n",
               static_cast<unsigned long long>(report.rounds),
               static_cast<unsigned long long>(report.full_cycles));
   std::printf("faults injected:                %llu\n",
-              static_cast<unsigned long long>(
-                  injector ? injector->injected_total() : 0));
+              static_cast<unsigned long long>(first.injected));
   std::printf("watchdog re-arms:               %llu\n",
               static_cast<unsigned long long>(report.watchdog_fires));
   std::printf("scan retries:                   %llu\n",
@@ -84,14 +152,34 @@ int main(int argc, char** argv) {
   std::printf("benign areas confirmed tampered: %llu\n",
               static_cast<unsigned long long>(report.benign_confirmed_alarms));
 
-  const bool rounds_reached = report.rounds >= duel.rounds_target;
-  const bool ok = rounds_reached && report.target_always_flagged() &&
-                  report.benign_confirmed_alarms == 0;
+  bool all_ok = true;
+  if (replicas > 1) {
+    std::printf("\nper-replica storms:\n");
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const ReplicaOutcome& o = outcomes[i];
+      std::printf(
+          "  replica %zu: %llu faults, area flagged %llu/%llu, %llu benign "
+          "confirms -> %s\n",
+          i, static_cast<unsigned long long>(o.injected),
+          static_cast<unsigned long long>(o.report.target_area_alarms),
+          static_cast<unsigned long long>(o.report.target_area_rounds),
+          static_cast<unsigned long long>(o.report.benign_confirmed_alarms),
+          o.ok ? "ok" : "BROKEN");
+    }
+  }
+  for (const ReplicaOutcome& o : outcomes) all_ok = all_ok && o.ok;
+
   std::printf("\n%s\n",
-              ok ? "detection survived the storm: the rootkit was flagged on\n"
-                   "every pass over its area, and no injected glitch was\n"
-                   "mistaken for tampering."
-                 : "unexpected: the storm broke the detection guarantee");
-  obs.flush(&system.engine());
-  return ok ? 0 : 1;
+              all_ok
+                  ? "detection survived the storm: the rootkit was flagged on\n"
+                    "every pass over its area, and no injected glitch was\n"
+                    "mistaken for tampering."
+                  : "unexpected: the storm broke the detection guarantee");
+  std::fprintf(stderr,
+               "BENCHJSON {\"bench\":\"fault_storm\",\"trials\":%zu,"
+               "\"jobs\":%d,\"wall_s\":%.6f,\"trials_per_s\":%.3f}\n",
+               runner.trials_run(), options.jobs, runner.wall_seconds(),
+               runner.trials_per_second());
+  obs.flush();
+  return all_ok ? 0 : 1;
 }

@@ -1,10 +1,14 @@
 // Normal-world overhead study (§VI-B2, Fig. 7, abbreviated).
 //
 // Runs a subset of the mini-UnixBench suite with and without SATIN's
-// self-activation and prints the per-program degradation. The full-suite
-// 1-task/6-task reproduction lives in bench/bench_fig7_overhead.
+// self-activation and prints the per-program degradation. The two passes
+// are independent simulations, so they fan out over --jobs=J workers as
+// two trials; results and obs sinks merge back in submission order
+// (baseline first), bit-identical for any J. The full-suite 1-task/6-task
+// reproduction lives in bench/bench_fig7_overhead.
 //
-//   $ ./examples/overhead_study [--trace=out.json] [--faults=<spec>]
+//   $ ./examples/overhead_study [--jobs=2] [--trace=out.json]
+//                               [--faults=<spec>]
 #include <cstdio>
 #include <string>
 
@@ -12,6 +16,7 @@
 #include "fault/injector.h"
 #include "obs/session.h"
 #include "scenario/scenario.h"
+#include "sim/parallel.h"
 #include "workload/unixbench.h"
 
 namespace {
@@ -29,7 +34,12 @@ std::vector<satin::workload::UnixBenchHarness::Result> run(
   core::Satin satin(system.platform(), system.kernel(), system.tsp(), config);
   if (with_satin) satin.start();
   workload::UnixBenchHarness harness(system.os());
-  return harness.run_suite(sim::Duration::from_sec(12), /*copies=*/1);
+  auto results = harness.run_suite(sim::Duration::from_sec(12), /*copies=*/1);
+  if (auto* registry = obs::metrics()) {
+    obs::snapshot_engine_metrics(system.engine(), *registry,
+                                 /*include_wall=*/false);
+  }
+  return results;
 }
 
 }  // namespace
@@ -37,11 +47,18 @@ std::vector<satin::workload::UnixBenchHarness::Result> run(
 int main(int argc, char** argv) {
   using namespace satin;
   // Both runs share one trace; their engines each start at t=0, so the
-  // two passes overlay on the same timeline.
+  // two passes overlay on the same timeline (merge order: baseline, then
+  // SATIN — the trial submission order).
   obs::ObsSession obs(argc, argv);
   std::printf("running mini-UnixBench twice (without / with SATIN)...\n\n");
-  const auto rows = workload::compare_runs(run(false, obs.faults_spec()),
-                                           run(true, obs.faults_spec()));
+  sim::TrialRunnerOptions options;
+  options.jobs = obs.jobs(/*fallback=*/1);
+  sim::TrialRunner runner(options);
+  const auto passes = runner.run_collect(
+      std::size_t{2}, [&obs](const sim::TrialContext& ctx) {
+        return run(/*with_satin=*/ctx.index == 1, obs.faults_spec());
+      });
+  const auto rows = workload::compare_runs(passes[0], passes[1]);
   std::printf("%-20s %14s %14s %10s\n", "program", "baseline", "with SATIN",
               "degrad %");
   for (const auto& r : rows) {
@@ -54,6 +71,11 @@ int main(int argc, char** argv) {
       "\nthe rich OS never fully stops: one core pays a few ms per round\n"
       "while the other five keep running (paper: 0.711%% / 0.848%% overall,\n"
       "worst bars file copy 256B and context switching).\n");
+  std::fprintf(stderr,
+               "BENCHJSON {\"bench\":\"overhead_study\",\"trials\":%zu,"
+               "\"jobs\":%d,\"wall_s\":%.6f,\"trials_per_s\":%.3f}\n",
+               runner.trials_run(), options.jobs, runner.wall_seconds(),
+               runner.trials_per_second());
   obs.flush();
   return 0;
 }

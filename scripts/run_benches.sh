@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Runs the reproduction benches and collects machine-readable timings into
+# BENCH_pr3.json: per-bench wall-clock, the BENCHJSON self-reports the
+# parallel benches print on stderr (trials, jobs, trials/sec), and the
+# host's job count. Run from anywhere; builds are NOT triggered here —
+# point BUILD_DIR at an existing build (default <repo>/build).
+#
+#   scripts/run_benches.sh                 # all benches, --jobs=$(nproc)
+#   JOBS=1 scripts/run_benches.sh          # serial baseline
+#   OUT=/tmp/b.json scripts/run_benches.sh # custom output path
+#   scripts/run_benches.sh bench_race_analysis   # subset
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+jobs="${JOBS:-$(nproc)}"
+out="${OUT:-$repo/BENCH_pr3.json}"
+
+# Benches/examples that accept --jobs (fanned over sim::TrialRunner),
+# then the serial ones — everything still gets wall-clock timed.
+parallel_benches=(
+  bench/bench_race_analysis
+  bench/bench_fig4_threshold_stability
+  bench/bench_table2_probing_threshold
+  bench/bench_ablation_area_size
+  bench/bench_ablation_randomization
+  bench/bench_satin_detection
+  examples/overhead_study
+  examples/fault_storm
+)
+serial_benches=(
+  bench/bench_table1_introspection_time
+  bench/bench_tswitch_recovery
+  bench/bench_fig3_race_timeline
+)
+
+if [ "$#" -gt 0 ]; then
+  filtered=()
+  for b in "${parallel_benches[@]}" "${serial_benches[@]}"; do
+    for want in "$@"; do
+      [ "$(basename "$b")" = "$want" ] && filtered+=("$b")
+    done
+  done
+  benches=("${filtered[@]}")
+else
+  benches=("${parallel_benches[@]}" "${serial_benches[@]}")
+fi
+
+is_parallel() {
+  local b
+  for b in "${parallel_benches[@]}"; do
+    [ "$b" = "$1" ] && return 0
+  done
+  return 1
+}
+
+tmp_err="$(mktemp)"
+trap 'rm -f "$tmp_err"' EXIT
+
+rows=""
+for b in "${benches[@]}"; do
+  exe="$build/$b"
+  name="$(basename "$b")"
+  if [ ! -x "$exe" ]; then
+    echo "skip $name (not built: $exe)" >&2
+    continue
+  fi
+  args=()
+  if is_parallel "$b"; then args+=("--jobs=$jobs"); fi
+  echo "== $name ${args[*]:-}" >&2
+  start="$EPOCHREALTIME"
+  "$exe" "${args[@]}" >/dev/null 2>"$tmp_err"
+  end="$EPOCHREALTIME"
+  wall="$(awk -v a="$start" -v b="$end" 'BEGIN{printf "%.6f", b-a}')"
+  # The bench's own BENCHJSON line (stderr) carries trials/jobs/rate for
+  # just the fanned-out portion; absent for serial benches.
+  self="$(grep -o 'BENCHJSON {.*}' "$tmp_err" | tail -1 | sed 's/^BENCHJSON //' || true)"
+  [ -n "$self" ] || self="null"
+  row="$(printf '{"bench":"%s","wall_s":%s,"jobs":%s,"self":%s}' \
+         "$name" "$wall" "$jobs" "$self")"
+  rows="${rows:+$rows,}$row"
+  echo "   ${wall}s" >&2
+done
+
+printf '{"schema":"satin-bench-pr3/1","nproc":%s,"jobs":%s,"benches":[%s]}\n' \
+  "$(nproc)" "$jobs" "$rows" >"$out"
+echo "wrote $out" >&2

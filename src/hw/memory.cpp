@@ -11,10 +11,27 @@ namespace satin::hw {
 
 Memory::Memory(std::size_t size) : bytes_(size, 0) {}
 
+void Memory::materialize_overlapping(std::size_t offset, std::size_t length) {
+  for (ActiveScan& scan : scans_) {
+    if (scan.materialized) continue;
+    const std::size_t lo = std::max(offset, scan.offset);
+    const std::size_t hi = std::min(offset + length, scan.offset + scan.length);
+    if (lo >= hi) continue;
+    scan.view.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(scan.offset),
+                     bytes_.begin() +
+                         static_cast<std::ptrdiff_t>(scan.offset + scan.length));
+    scan.materialized = true;
+  }
+}
+
 void Memory::poke(std::size_t offset, std::span<const std::uint8_t> data) {
   if (offset + data.size() > bytes_.size()) {
     throw std::out_of_range("Memory::poke out of range");
   }
+  // An untimed poke is invisible to in-flight scans (their snapshot is
+  // anchored at scan start); give overlapped scans their private view
+  // before the backing bytes move under them.
+  materialize_overlapping(offset, data.size());
   std::copy(data.begin(), data.end(), bytes_.begin() + offset);
 }
 
@@ -24,6 +41,7 @@ void Memory::write(sim::Time now, std::size_t offset,
     throw std::out_of_range("Memory::write out of range");
   }
   ++write_count_;
+  materialize_overlapping(offset, data.size());
   for (ActiveScan& scan : scans_) {
     const std::size_t scan_end = scan.offset + scan.length;
     const std::size_t lo = std::max(offset, scan.offset);
@@ -69,23 +87,31 @@ Memory::ScanToken Memory::begin_scan(sim::Time start, std::size_t offset,
   scan.offset = offset;
   scan.length = length;
   scan.per_byte_ps = per_byte_ps;
-  scan.view.assign(bytes_.begin() + offset, bytes_.begin() + offset + length);
-  // Fault seam: a transient read glitch corrupts what this scan observes,
-  // never the backing bytes. Resolved at scan start so racing writes still
-  // apply on top of the (possibly corrupted) view deterministically.
+  // Copy-on-first-overlap: the private view is deferred until a write or
+  // poke actually touches the window. Fault hooks force it immediately —
+  // a transient read glitch corrupts what this scan observes, never the
+  // backing bytes, and racing writes still apply on top of the (possibly
+  // corrupted) view deterministically.
   if (fault_hooks_ != nullptr) {
+    scan.view.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(offset),
+                     bytes_.begin() + static_cast<std::ptrdiff_t>(offset + length));
+    scan.materialized = true;
     fault_hooks_->corrupt_scan_view(start, offset, scan.view);
   }
   scans_.push_back(std::move(scan));
   return ScanToken(scans_.back().id);
 }
 
-std::vector<std::uint8_t> Memory::finish_scan(ScanToken token) {
+Memory::ScanView Memory::finish_scan(ScanToken token) {
   for (auto it = scans_.begin(); it != scans_.end(); ++it) {
     if (it->id == token.id_) {
-      std::vector<std::uint8_t> view = std::move(it->view);
+      ScanView result =
+          it->materialized
+              ? ScanView(std::move(it->view))
+              : ScanView(std::span<const std::uint8_t>(bytes_).subspan(
+                    it->offset, it->length));
       scans_.erase(it);
-      return view;
+      return result;
     }
   }
   throw std::logic_error("Memory::finish_scan: unknown token");

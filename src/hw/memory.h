@@ -14,6 +14,7 @@
 // over the returned view — detection is never scripted.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <span>
@@ -52,6 +53,56 @@ class Memory {
     std::uint64_t id_ = 0;
   };
 
+  // What a finished scan observed. When no timed write overlapped the
+  // scan window (the overwhelmingly common case in the benches) this is a
+  // zero-copy window into physical memory, valid until the next mutation
+  // (write/poke) or scan registration — hash it immediately. When a write
+  // did race the cursor, it owns the materialized private view.
+  class ScanView {
+   public:
+    ScanView() = default;
+    // Moves keep the span valid (a moved vector keeps its heap buffer);
+    // copies must re-anchor it onto the copied storage.
+    ScanView(ScanView&&) = default;
+    ScanView& operator=(ScanView&&) = default;
+    ScanView(const ScanView& other)
+        : storage_(other.storage_),
+          span_(storage_.empty() ? other.span_
+                                 : std::span<const std::uint8_t>(storage_)) {}
+    ScanView& operator=(const ScanView& other) {
+      storage_ = other.storage_;
+      span_ = storage_.empty() ? other.span_
+                               : std::span<const std::uint8_t>(storage_);
+      return *this;
+    }
+
+    std::span<const std::uint8_t> bytes() const { return span_; }
+    std::size_t size() const { return span_.size(); }
+    std::uint8_t operator[](std::size_t i) const { return span_[i]; }
+    auto begin() const { return span_.begin(); }
+    auto end() const { return span_.end(); }
+    // True when the scan raced a write and owns a private copy.
+    bool owned() const { return !storage_.empty(); }
+
+    std::vector<std::uint8_t> to_vector() const {
+      return {span_.begin(), span_.end()};
+    }
+
+    friend bool operator==(const ScanView& view,
+                           const std::vector<std::uint8_t>& rhs) {
+      return std::equal(view.begin(), view.end(), rhs.begin(), rhs.end());
+    }
+
+   private:
+    friend class Memory;
+    explicit ScanView(std::vector<std::uint8_t> storage)
+        : storage_(std::move(storage)), span_(storage_) {}
+    explicit ScanView(std::span<const std::uint8_t> window) : span_(window) {}
+
+    std::vector<std::uint8_t> storage_;  // empty on the zero-copy path
+    std::span<const std::uint8_t> span_;
+  };
+
   // Starts a linear scan of [offset, offset+length) beginning at `start`,
   // advancing `per_byte_ps` picoseconds per byte. Works for both direct
   // hashing (cursor = hash position) and snapshotting (cursor = copy
@@ -61,7 +112,10 @@ class Memory {
                        double per_byte_ps);
 
   // Ends the scan and returns the bytes as the scanner observed them.
-  std::vector<std::uint8_t> finish_scan(ScanToken token);
+  // Copy-on-first-overlap: the view is only materialized (full-window
+  // copy) the moment a timed write or poke first overlaps the window; a
+  // scan nothing raced reads physical memory directly, copy-free.
+  ScanView finish_scan(ScanToken token);
 
   // Drops a scan without reading the result (e.g. aborted introspection).
   void cancel_scan(ScanToken token);
@@ -83,8 +137,16 @@ class Memory {
     std::size_t offset;
     std::size_t length;
     double per_byte_ps;
-    std::vector<std::uint8_t> view;  // bytes as the scanner sees them
+    // Bytes as the scanner sees them; empty until the first overlapping
+    // mutation snapshots the window (fault hooks materialize eagerly so
+    // glitches land on a private view).
+    std::vector<std::uint8_t> view;
+    bool materialized = false;
   };
+
+  // Snapshots the window of every unmaterialized scan overlapping
+  // [offset, offset + length) — must run before the backing bytes change.
+  void materialize_overlapping(std::size_t offset, std::size_t length);
 
   std::vector<std::uint8_t> bytes_;
   FaultHooks* fault_hooks_ = nullptr;

@@ -53,6 +53,10 @@ class Histogram {
   const std::vector<std::uint64_t>& counts() const { return counts_; }
   const sim::Accumulator& moments() const { return acc_; }
 
+  // Adds another histogram's bucket counts and moments into this one;
+  // the bucket bounds must match exactly (throws otherwise).
+  void merge_from(const Histogram& other);
+
   // Decade buckets 1e-9 .. 1e3 with a x3 midpoint each — wide enough for
   // every timescale the paper touches (ns hash steps to quarter-hour runs).
   static std::vector<double> default_time_buckets();
@@ -81,6 +85,14 @@ class MetricsRegistry {
   const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
 
+  // Folds another registry into this one: counters add, gauges take the
+  // other's value (last merge wins), histograms add bucket counts and
+  // combine moments. Histograms present in both registries must share
+  // bucket bounds (throws otherwise). The TrialRunner merges per-trial
+  // registries in submission order, so the folded state is bit-identical
+  // for any worker count.
+  void merge_from(const MetricsRegistry& other);
+
   // Deterministic snapshot: names sorted, stable field order, same string
   // for the same state no matter the registration order.
   std::string to_json() const;
@@ -92,9 +104,12 @@ class MetricsRegistry {
   std::map<std::string, Histogram> histograms_;
 };
 
-// Process-global registry the macros emit into; null disables metrics.
+// Per-thread registry the macros emit into; null disables metrics. The
+// slot is thread-local so parallel trial workers each write into their
+// own registry (installed by sim::TrialRunner around every trial) while
+// the main thread keeps the session-wide one — no locks on the hot path.
 inline MetricsRegistry*& metrics_slot() {
-  static MetricsRegistry* registry = nullptr;
+  thread_local MetricsRegistry* registry = nullptr;
   return registry;
 }
 inline MetricsRegistry* metrics() { return metrics_slot(); }

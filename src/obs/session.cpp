@@ -1,14 +1,16 @@
 #include "obs/session.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "sim/engine.h"
+#include "sim/parallel.h"
 
 namespace satin::obs {
 
 void snapshot_engine_metrics(const sim::Engine& engine,
-                             MetricsRegistry& registry) {
+                             MetricsRegistry& registry, bool include_wall) {
   registry.gauge("engine.events_fired")
       .set(static_cast<double>(engine.events_fired()));
   registry.gauge("engine.queue_high_water")
@@ -21,6 +23,7 @@ void snapshot_engine_metrics(const sim::Engine& engine,
       .set(popped > 0.0
                ? static_cast<double>(engine.cancelled_popped()) / popped
                : 0.0);
+  if (!include_wall) return;
   registry.gauge("engine.wall_seconds").set(engine.wall_seconds());
   const double sim_s = engine.now().sec();
   registry.gauge("engine.wall_s_per_sim_s")
@@ -48,10 +51,21 @@ std::string take_flag(int& argc, char** argv, const char* key) {
 
 }  // namespace
 
+int ObsSession::jobs(int fallback) const {
+  if (jobs_ < 0) return fallback;
+  if (jobs_ == 0) return sim::TrialRunner::hardware_jobs();
+  return jobs_;
+}
+
 ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity) {
   trace_path_ = take_flag(argc, argv, "trace");
   metrics_path_ = take_flag(argc, argv, "metrics");
   faults_spec_ = take_flag(argc, argv, "faults");
+  const std::string jobs_value = take_flag(argc, argv, "jobs");
+  if (!jobs_value.empty()) {
+    jobs_ = std::atoi(jobs_value.c_str());
+    if (jobs_ < 0) jobs_ = -1;  // nonsense value: behave as if absent
+  }
   // One flag should yield the full picture: a trace without an explicit
   // metrics path still drops a snapshot next to it.
   if (!trace_path_.empty() && metrics_path_.empty()) {

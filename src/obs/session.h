@@ -31,16 +31,21 @@ namespace satin::obs {
 
 // Records engine self-metrics (events fired, queue depth high-water mark,
 // cancelled-event ratio, wall time per simulated second) as gauges.
+// Pass include_wall=false inside parallel trials: host wall time differs
+// run to run, and trial metrics must stay bit-identical across --jobs.
 void snapshot_engine_metrics(const sim::Engine& engine,
-                             MetricsRegistry& registry);
+                             MetricsRegistry& registry,
+                             bool include_wall = true);
 
 class ObsSession {
  public:
-  // Consumes --trace= / --metrics= / --faults= from argv (argc is
-  // rewritten). When no flag is present the session installs nothing and
-  // costs nothing. The faults spec is only stripped and stored — the obs
-  // layer knows nothing about fault injection; pass faults_spec() to
-  // fault::install_from_spec() to arm it.
+  // Consumes --trace= / --metrics= / --faults= / --jobs= from argv (argc
+  // is rewritten). When no flag is present the session installs nothing
+  // and costs nothing. The faults spec is only stripped and stored — the
+  // obs layer knows nothing about fault injection; pass faults_spec() to
+  // fault::install_from_spec() to arm it. --jobs is likewise only parsed
+  // and stored, for sim::TrialRunner: J worker threads, 0 = one per
+  // hardware thread, absent = the caller's fallback (typically 1).
   ObsSession(int& argc, char** argv,
              std::size_t trace_capacity = 1u << 20);
   ~ObsSession();
@@ -51,6 +56,10 @@ class ObsSession {
   bool trace_enabled() const { return recorder_ != nullptr; }
   bool metrics_enabled() const { return registry_ != nullptr; }
   bool faults_requested() const { return !faults_spec_.empty(); }
+  bool jobs_requested() const { return jobs_ >= 0; }
+  // Parsed --jobs value; `fallback` when the flag was absent, one worker
+  // per hardware thread when it was --jobs=0.
+  int jobs(int fallback = 1) const;
   const std::string& trace_path() const { return trace_path_; }
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& faults_spec() const { return faults_spec_; }
@@ -68,6 +77,7 @@ class ObsSession {
   std::string trace_path_;
   std::string metrics_path_;
   std::string faults_spec_;
+  int jobs_ = -1;  // -1 = flag absent
   std::unique_ptr<TraceRecorder> recorder_;
   std::unique_ptr<MetricsRegistry> registry_;
   bool flushed_ = false;

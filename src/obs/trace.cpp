@@ -111,6 +111,11 @@ void TraceRecorder::clear() {
   dropped_ = 0;
 }
 
+void TraceRecorder::append_from(const TraceRecorder& other) {
+  for (const TraceEvent& ev : other.snapshot()) record(ev);
+  dropped_ += other.dropped();
+}
+
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());

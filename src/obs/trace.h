@@ -97,6 +97,12 @@ class TraceRecorder {
 
   void clear();
 
+  // Appends another recorder's events (in its recording order) into this
+  // ring. The TrialRunner concatenates per-trial recorders in submission
+  // order; trials each start at t=0, so merged timelines overlay — the
+  // same convention overhead_study uses for its two passes.
+  void append_from(const TraceRecorder& other);
+
   // Events in recording order (ring unwound, oldest first).
   std::vector<TraceEvent> snapshot() const;
 
@@ -131,9 +137,12 @@ class TraceRecorder {
 // Escapes a string for embedding inside a JSON string literal.
 std::string json_escape(const std::string& raw);
 
-// Process-global recorder the macros emit into; null disables tracing.
+// Per-thread recorder the macros emit into; null disables tracing. The
+// slot is thread-local so parallel trial workers each record into their
+// own ring (installed by sim::TrialRunner around every trial) while the
+// main thread keeps the session-wide one — no locks on the hot path.
 inline TraceRecorder*& tracer_slot() {
-  static TraceRecorder* recorder = nullptr;
+  thread_local TraceRecorder* recorder = nullptr;
   return recorder;
 }
 inline TraceRecorder* tracer() { return tracer_slot(); }

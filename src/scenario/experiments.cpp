@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/session.h"
 #include "os/system_map.h"
 
 namespace satin::scenario {
@@ -142,6 +144,37 @@ DuelReport run_duel(Scenario& scenario, const DuelConfig& config) {
     if (!noticed) ++report.false_negatives;
   }
   return report;
+}
+
+DuelSweep run_duel_sweep(
+    const DuelSweepConfig& config,
+    const std::function<void(const sim::TrialContext&, ScenarioConfig&,
+                             DuelConfig&)>& customize) {
+  sim::TrialRunnerOptions options;
+  options.jobs = config.jobs;
+  options.root_seed = config.root_seed;
+  sim::TrialRunner runner(options);
+
+  DuelSweep sweep;
+  sweep.jobs = runner.jobs_for(config.trials);
+  sweep.reports = runner.run_collect(
+      config.trials, [&config, &customize](const sim::TrialContext& ctx) {
+        ScenarioConfig scenario_config;
+        scenario_config.platform.seed = ctx.seed;
+        DuelConfig duel = config.duel;
+        if (customize) customize(ctx, scenario_config, duel);
+        Scenario scenario(scenario_config);
+        DuelReport report = run_duel(scenario, duel);
+        // Engine self-metrics, minus host wall time: trial metrics must
+        // stay bit-identical across --jobs.
+        if (auto* registry = obs::metrics()) {
+          obs::snapshot_engine_metrics(scenario.engine(), *registry,
+                                       /*include_wall=*/false);
+        }
+        return report;
+      });
+  sweep.wall_seconds = runner.wall_seconds();
+  return sweep;
 }
 
 }  // namespace satin::scenario

@@ -46,9 +46,11 @@ void Introspector::scan_async(hw::CoreId core, std::size_t offset,
   platform_.engine().schedule_after(
       total, [this, core, token, offset, length, start, per_byte_s,
               done = std::move(done)]() mutable {
+        // Zero-copy on the common no-race path: the view is a window into
+        // physical memory, hashed before anything else can mutate it.
         const auto seen = platform_.memory().finish_scan(token);
         ScanResult result;
-        result.digest = hash_bytes(hash_, seen);
+        result.digest = hash_bytes(hash_, seen.bytes());
         result.offset = offset;
         result.length = length;
         result.scan_start = start;

@@ -1,7 +1,9 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
@@ -39,7 +41,9 @@ bool EventHandle::pending() const {
 }
 
 void EventHandle::cancel() {
-  if (state_) state_->cancelled = true;
+  if (!state_ || state_->cancelled || state_->fired) return;
+  state_->cancelled = true;
+  if (state_->cancelled_in_heap != nullptr) ++*state_->cancelled_in_heap;
 }
 
 Time EventHandle::when() const {
@@ -50,6 +54,30 @@ Engine::Engine() { set_log_clock(&engine_log_clock, this); }
 
 Engine::~Engine() {
   if (log_clock_ctx() == this) set_log_clock(nullptr, nullptr);
+  // Handles can outlive the engine; cut their back-references so a late
+  // cancel() never writes through a dangling tally pointer.
+  for (QueueEntry& entry : heap_) entry.state->cancelled_in_heap = nullptr;
+}
+
+void Engine::release_entry(const QueueEntry& entry) {
+  entry.state->cancelled_in_heap = nullptr;
+  if (entry.state->cancelled) --cancelled_in_heap_;
+}
+
+void Engine::compact() {
+  std::vector<QueueEntry> live;
+  live.reserve(heap_.size() - cancelled_in_heap_);
+  for (QueueEntry& entry : heap_) {
+    if (entry.state->cancelled) {
+      release_entry(entry);
+      ++cancelled_popped_;
+    } else {
+      live.push_back(std::move(entry));
+    }
+  }
+  heap_ = std::move(live);
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
+  ++compactions_;
 }
 
 EventHandle Engine::schedule_at(Time when, Callback cb) {
@@ -59,18 +87,28 @@ EventHandle Engine::schedule_at(Time when, Callback cb) {
   auto state = std::make_shared<EventHandle::State>();
   state->callback = std::move(cb);
   state->when = when;
-  queue_.push(QueueEntry{when, next_seq_++, state});
-  if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
+  state->cancelled_in_heap = &cancelled_in_heap_;
+  heap_.push_back(QueueEntry{when, next_seq_++, state});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
+  if (heap_.size() > queue_high_water_) queue_high_water_ = heap_.size();
+  // Lazy compaction: once dead entries outnumber live ones (and the heap
+  // is big enough for the sweep to matter), sweep them out in one O(n)
+  // pass instead of dragging them through every sift.
+  if (cancelled_in_heap_ > heap_.size() / 2 && heap_.size() >= 64) {
+    compact();
+  }
   return EventHandle(state);
 }
 
 bool Engine::fire_next(Time limit) {
-  while (!queue_.empty()) {
-    const QueueEntry& top = queue_.top();
+  while (!heap_.empty()) {
+    const QueueEntry& top = heap_.front();
     if (top.when > limit) return false;
     auto state = top.state;
     const Time when = top.when;
-    queue_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
+    release_entry(heap_.back());
+    heap_.pop_back();
     if (state->cancelled) {
       ++cancelled_popped_;
       continue;
@@ -117,16 +155,10 @@ std::size_t Engine::run_all() {
 }
 
 std::size_t Engine::pending_count() const {
-  // The queue may hold cancelled entries; report the live ones. The queue
-  // container is private to std::priority_queue, so count via a copy --
-  // this accessor is for tests and diagnostics, not hot paths.
-  auto copy = queue_;
-  std::size_t n = 0;
-  while (!copy.empty()) {
-    if (!copy.top().state->cancelled && !copy.top().state->fired) ++n;
-    copy.pop();
-  }
-  return n;
+  // The heap holds only unfired entries and the cancelled tally is kept
+  // exact by cancel()/release_entry(), so live = size - cancelled. O(1),
+  // where the old std::priority_queue accessor copied the whole container.
+  return heap_.size() - cancelled_in_heap_;
 }
 
 }  // namespace satin::sim

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -40,6 +39,10 @@ class EventHandle {
     Time when;
     bool cancelled = false;
     bool fired = false;
+    // Engine's tally of cancelled-but-still-queued entries; non-null only
+    // while the entry sits in the heap. Lets pending_count() be O(1) and
+    // triggers lazy compaction without scanning.
+    std::size_t* cancelled_in_heap = nullptr;
   };
   explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
   std::shared_ptr<State> state_;
@@ -88,8 +91,13 @@ class Engine {
   // --- Engine self-metrics (see obs/session.h) ---------------------------
   // Deepest the event queue has ever been (including cancelled entries).
   std::size_t queue_high_water() const { return queue_high_water_; }
-  // Cancelled entries popped and skipped rather than fired.
+  // Cancelled entries removed without firing — popped and skipped, or
+  // swept out by lazy compaction.
   std::uint64_t cancelled_popped() const { return cancelled_popped_; }
+  // Cancelled entries currently sitting in the heap (diagnostics).
+  std::size_t cancelled_pending() const { return cancelled_in_heap_; }
+  // Lazy compaction sweeps performed (diagnostics/tests).
+  std::uint64_t compactions() const { return compactions_; }
   // Host wall-clock seconds spent inside run_until/run_all; with now() it
   // yields wall-time per simulated second.
   double wall_seconds() const { return wall_seconds_; }
@@ -106,17 +114,28 @@ class Engine {
   };
 
   bool fire_next(Time limit);
+  // Removes a popped/compacted entry's back-reference and keeps the
+  // cancelled tally exact.
+  void release_entry(const QueueEntry& entry);
+  // Sweeps cancelled entries out and re-heapifies; called when they
+  // outnumber the live ones (amortized O(1) per scheduled event).
+  void compact();
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
   std::uint64_t cancelled_popped_ = 0;
+  std::uint64_t compactions_ = 0;
   std::size_t queue_high_water_ = 0;
   double wall_seconds_ = 0.0;
   bool stop_requested_ = false;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>>
-      queue_;
+  // Inspectable min-heap (std::push_heap/pop_heap over a vector, ordered
+  // by operator> like the old std::priority_queue/std::greater pair).
+  // Owning the container directly makes pending_count() O(1) — the old
+  // accessor copied the whole priority_queue to count live entries — and
+  // enables lazy compaction of cancelled entries.
+  std::vector<QueueEntry> heap_;
+  std::size_t cancelled_in_heap_ = 0;
 };
 
 }  // namespace satin::sim

@@ -7,8 +7,11 @@ namespace satin::sim {
 namespace {
 LogLevel g_level = LogLevel::kWarn;
 LogSink g_sink = nullptr;
-LogClockFn g_clock_fn = nullptr;
-const void* g_clock_ctx = nullptr;
+// The clock is per-thread: every parallel trial worker constructs its own
+// Engine, and each engine must stamp only its own thread's log lines.
+// Level and sink stay process-wide — set them before fanning trials out.
+thread_local LogClockFn g_clock_fn = nullptr;
+thread_local const void* g_clock_ctx = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {

@@ -27,7 +27,8 @@ void set_log_sink(LogSink sink);
 // stderr sink prefixes every line with the current simulated time, e.g.
 // "[t=12.345ms]". Engine installs itself on construction (newest engine
 // wins) and uninstalls on destruction, so components never wire this by
-// hand. A null fn disables the prefix.
+// hand. A null fn disables the prefix. The hook is thread-local: each
+// parallel trial worker's engine stamps only that worker's log lines.
 using LogClockFn = Time (*)(const void* ctx);
 void set_log_clock(LogClockFn fn, const void* ctx);
 // Context registered with the current clock (null when none); lets an

@@ -1,0 +1,140 @@
+#include "sim/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace satin::sim {
+
+namespace {
+
+// Installs per-trial obs sinks into this thread's slots for the duration
+// of one trial; restores whatever the thread had on exit (workers hold
+// null, the inline jobs=1 path holds the caller's session sinks).
+class ScopedTrialSinks {
+ public:
+  ScopedTrialSinks(obs::MetricsRegistry* metrics, obs::TraceRecorder* tracer)
+      : prev_metrics_(obs::metrics()), prev_tracer_(obs::tracer()) {
+    obs::install_metrics(metrics);
+    obs::install_tracer(tracer);
+  }
+  ~ScopedTrialSinks() {
+    obs::install_metrics(prev_metrics_);
+    obs::install_tracer(prev_tracer_);
+  }
+  ScopedTrialSinks(const ScopedTrialSinks&) = delete;
+  ScopedTrialSinks& operator=(const ScopedTrialSinks&) = delete;
+
+ private:
+  obs::MetricsRegistry* prev_metrics_;
+  obs::TraceRecorder* prev_tracer_;
+};
+
+}  // namespace
+
+TrialRunner::TrialRunner(TrialRunnerOptions options)
+    : options_(options), seeds_(options.root_seed) {}
+
+int TrialRunner::hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int TrialRunner::jobs_for(std::size_t trials) const {
+  int jobs = options_.jobs > 0 ? options_.jobs : hardware_jobs();
+  if (static_cast<std::size_t>(jobs) > trials) {
+    jobs = static_cast<int>(trials);
+  }
+  return jobs < 1 ? 1 : jobs;
+}
+
+double TrialRunner::trials_per_second() const {
+  return wall_seconds_ > 0.0
+             ? static_cast<double>(trials_run_) / wall_seconds_
+             : 0.0;
+}
+
+void TrialRunner::run(std::size_t trials,
+                      const std::function<void(const TrialContext&)>& fn) {
+  if (trials == 0) return;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // The calling thread's sinks decide whether trials record at all; the
+  // per-trial instances exist so workers never contend on one registry
+  // and so the merged state is independent of completion order.
+  obs::MetricsRegistry* parent_metrics = obs::metrics();
+  obs::TraceRecorder* parent_tracer = obs::tracer();
+
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> trial_metrics(trials);
+  std::vector<std::unique_ptr<obs::TraceRecorder>> trial_tracers(trials);
+  std::vector<std::exception_ptr> errors(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (parent_metrics != nullptr) {
+      trial_metrics[i] = std::make_unique<obs::MetricsRegistry>();
+    }
+    if (parent_tracer != nullptr) {
+      trial_tracers[i] =
+          std::make_unique<obs::TraceRecorder>(options_.trace_capacity);
+    }
+  }
+
+  const auto run_one = [&](std::size_t i) {
+    const TrialContext ctx{i, seeds_.seed_for(i)};
+    ScopedTrialSinks sinks(trial_metrics[i].get(), trial_tracers[i].get());
+    try {
+      fn(ctx);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  const int jobs = jobs_for(trials);
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < trials; ++i) run_one(i);
+  } else {
+    // Fixed-size pool; a shared atomic cursor load-balances uneven trials
+    // (duel lengths vary a lot). Claim order is racy, but nothing reads
+    // it: every output is keyed by the trial index.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= trials) return;
+          run_one(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Merge in submission order, on the calling thread, after every trial
+  // has settled — the one place the parallel and serial paths reconverge.
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (trial_metrics[i] != nullptr) {
+      parent_metrics->merge_from(*trial_metrics[i]);
+    }
+    if (trial_tracers[i] != nullptr) {
+      parent_tracer->append_from(*trial_tracers[i]);
+    }
+  }
+
+  trials_run_ += trials;
+  wall_seconds_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+}  // namespace satin::sim

@@ -1,0 +1,96 @@
+// Deterministic parallel trial runner.
+//
+// Every evaluation in the paper is a Monte-Carlo sweep: N independent
+// replicated simulations that differ only in their seed. Those trials
+// share nothing — each builds its own Engine/Platform/Scenario — so they
+// are embarrassingly parallel. TrialRunner fans them out over a fixed
+// pool of --jobs=J std::threads while keeping the result BIT-IDENTICAL
+// for any J, including J=1:
+//
+//  * seeds come from TrialSeedSeq (root seed + trial index only);
+//  * every trial runs against its own thread-local MetricsRegistry /
+//    TraceRecorder (created only when the calling thread had one
+//    installed), merged back in submission order after all trials settle;
+//  * results land in submission-order slots, so aggregation code never
+//    observes completion order;
+//  * exceptions are captured per trial and the first (by submission
+//    order) is rethrown once every trial has settled.
+//
+// Determinism is an acceptance gate, not a hope: the jobs=1 path goes
+// through the exact same per-trial-sink + ordered-merge machinery, so a
+// diff between jobs=1 and jobs=8 output is a bug by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "sim/seed_seq.h"
+
+namespace satin::sim {
+
+struct TrialContext {
+  std::size_t index = 0;    // submission order, 0-based
+  std::uint64_t seed = 0;   // TrialSeedSeq::seed_for(index)
+};
+
+struct TrialRunnerOptions {
+  // Worker threads; <= 0 means one worker per hardware thread. Clamped to
+  // the trial count at run time.
+  int jobs = 1;
+  // Root of the per-trial seed derivation (see sim/seed_seq.h).
+  std::uint64_t root_seed = 0x5A71A57ull;
+  // Ring capacity of each per-trial TraceRecorder (only allocated when
+  // the calling thread has a recorder installed).
+  std::size_t trace_capacity = 1u << 20;
+};
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(TrialRunnerOptions options = {});
+
+  // Workers actually used by run() for `trials` trials.
+  int jobs_for(std::size_t trials) const;
+  int jobs() const { return options_.jobs; }
+  std::uint64_t root_seed() const { return options_.root_seed; }
+  const TrialSeedSeq& seeds() const { return seeds_; }
+
+  // Runs fn once per trial index in [0, trials). fn must not touch state
+  // shared with other trials; everything it needs is derived from ctx.
+  // Rethrows the first captured trial exception (submission order) after
+  // all trials have settled and all obs sinks are merged.
+  void run(std::size_t trials, const std::function<void(const TrialContext&)>& fn);
+
+  // Convenience: one result per trial, in submission-order slots. R must
+  // be default-constructible.
+  template <typename Fn>
+  auto run_collect(std::size_t trials, Fn&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, const TrialContext&>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, const TrialContext&>>;
+    std::vector<R> results(trials);
+    run(trials, [&results, &fn](const TrialContext& ctx) {
+      results[ctx.index] = fn(ctx);
+    });
+    return results;
+  }
+
+  // Host wall-clock spent inside run(), cumulative across calls, and the
+  // trial throughput it implies. Host timing is intentionally NOT written
+  // into any MetricsRegistry: metrics snapshots must stay bit-identical
+  // across worker counts, and wall time never is.
+  double wall_seconds() const { return wall_seconds_; }
+  std::size_t trials_run() const { return trials_run_; }
+  double trials_per_second() const;
+
+  // One worker per hardware thread (>= 1).
+  static int hardware_jobs();
+
+ private:
+  TrialRunnerOptions options_;
+  TrialSeedSeq seeds_;
+  double wall_seconds_ = 0.0;
+  std::size_t trials_run_ = 0;
+};
+
+}  // namespace satin::sim

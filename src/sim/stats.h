@@ -16,6 +16,12 @@ class Accumulator {
  public:
   void add(double x);
 
+  // Combines another accumulator into this one (Chan et al. parallel
+  // Welford). The result depends only on the two operands and their
+  // order, so merging per-trial accumulators in submission order yields
+  // the same bits no matter how many workers produced them.
+  void merge(const Accumulator& other);
+
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 namespace satin::hw {
 namespace {
 
@@ -154,6 +156,106 @@ TEST(Memory, WriteCountTracksTimedWritesOnly) {
   mem.write(sim::Time::zero(), 0, bytes({2}));
   mem.write(sim::Time::zero(), 1, bytes({3}));
   EXPECT_EQ(mem.write_count(), 2u);
+}
+
+// Copy-on-first-overlap: a scan nothing raced must read physical memory
+// directly (no private copy), and the zero-copy and materialized paths
+// must return identical bytes for the same history.
+TEST(Memory, UnracedScanIsZeroCopy) {
+  Memory mem(16);
+  mem.poke(0, bytes({9, 8, 7, 6, 5, 4, 3, 2}));
+  auto token = mem.begin_scan(sim::Time::zero(), 2, 4, 1000.0);
+  const auto view = mem.finish_scan(token);
+  EXPECT_FALSE(view.owned());
+  EXPECT_EQ(view, bytes({7, 6, 5, 4}));
+}
+
+TEST(Memory, OverlappingWriteMaterializesTheView) {
+  Memory mem(16);
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 8, 1000.0);
+  mem.write(sim::Time::from_ns(100), 2, bytes({0xAA}));  // after the cursor
+  const auto view = mem.finish_scan(token);
+  EXPECT_TRUE(view.owned());
+  // The view holds the pre-write byte even though memory moved on.
+  EXPECT_EQ(view[2], 0);
+  EXPECT_EQ(mem.read(2), 0xAA);
+}
+
+TEST(Memory, NonOverlappingWriteKeepsTheScanZeroCopy) {
+  Memory mem(16);
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 4, 1000.0);
+  mem.write(sim::Time::zero(), 8, bytes({1, 2, 3}));  // outside the window
+  const auto view = mem.finish_scan(token);
+  EXPECT_FALSE(view.owned());
+  EXPECT_EQ(view, bytes({0, 0, 0, 0}));
+}
+
+TEST(Memory, PokeDuringScanPreservesTheSnapshot) {
+  Memory mem(16);
+  mem.poke(0, bytes({1, 2, 3, 4}));
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 4, 1000.0);
+  // An untimed poke is invisible to in-flight scans: the view keeps the
+  // bytes as they were at materialization time.
+  mem.poke(1, bytes({0xEE, 0xEE}));
+  const auto view = mem.finish_scan(token);
+  EXPECT_TRUE(view.owned());
+  EXPECT_EQ(view, bytes({1, 2, 3, 4}));
+  EXPECT_EQ(mem.read(1), 0xEE);
+}
+
+TEST(Memory, ZeroCopyAndMaterializedViewsAgreeByteForByte) {
+  // Same poke history, two scans: one raced by a no-op write (same value
+  // rewritten — still a race, still materializes), one untouched. Their
+  // observed bytes must be identical.
+  Memory raced(32), quiet(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto v = static_cast<std::uint8_t>(i * 7 + 3);
+    raced.poke(i, {&v, 1});
+    quiet.poke(i, {&v, 1});
+  }
+  auto t_raced = raced.begin_scan(sim::Time::zero(), 0, 32, 1000.0);
+  auto t_quiet = quiet.begin_scan(sim::Time::zero(), 0, 32, 1000.0);
+  const std::uint8_t same = static_cast<std::uint8_t>(5 * 7 + 3);
+  raced.write(sim::Time::from_ns(1), 5, {&same, 1});
+  const auto view_raced = raced.finish_scan(t_raced);
+  const auto view_quiet = quiet.finish_scan(t_quiet);
+  EXPECT_TRUE(view_raced.owned());
+  EXPECT_FALSE(view_quiet.owned());
+  EXPECT_EQ(view_raced.to_vector(), view_quiet.to_vector());
+}
+
+TEST(Memory, ScanViewCopyReanchorsOwnedStorage) {
+  Memory mem(8);
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 4, 1000.0);
+  mem.write(sim::Time::from_ns(100), 1, bytes({0x99}));
+  const auto view = mem.finish_scan(token);
+  ASSERT_TRUE(view.owned());
+  // Copy, then mutate the original's source of truth: the copy must keep
+  // its own bytes (span re-anchored onto the copied storage).
+  Memory::ScanView copy = view;
+  EXPECT_EQ(copy.to_vector(), view.to_vector());
+  // The copy's span points into its own storage, not the original's.
+  EXPECT_NE(copy.bytes().data(), view.bytes().data());
+  Memory::ScanView assigned;
+  assigned = view;
+  EXPECT_EQ(assigned.to_vector(), view.to_vector());
+  // Moved-from-safe: moving keeps the bytes readable at the destination.
+  Memory::ScanView moved = std::move(copy);
+  EXPECT_EQ(moved.to_vector(), view.to_vector());
+}
+
+TEST(Memory, ZeroCopyViewTracksSubsequentMutation) {
+  // The zero-copy window is documented as valid only until the next
+  // mutation — and it reads through to physical memory: hash-before-
+  // mutate is the caller's contract (introspect.cpp hashes immediately).
+  Memory mem(8);
+  mem.poke(0, bytes({1, 2, 3, 4}));
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 4, 1000.0);
+  const auto view = mem.finish_scan(token);
+  EXPECT_FALSE(view.owned());
+  EXPECT_EQ(view[0], 1);
+  mem.poke(0, bytes({0xFF}));
+  EXPECT_EQ(view[0], 0xFF);  // window, not snapshot
 }
 
 TEST(Memory, FractionalPerByteSpeed) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/rng.h"
+
 namespace satin::secure {
 namespace {
 
@@ -51,6 +53,37 @@ TEST(Hash, DispatcherMatchesDirectCalls) {
   EXPECT_EQ(hash_bytes(HashKind::kDjb2, data), hash_djb2(data));
   EXPECT_EQ(hash_bytes(HashKind::kSdbm, data), hash_sdbm(data));
   EXPECT_EQ(hash_bytes(HashKind::kFnv1a, data), hash_fnv1a(data));
+}
+
+// The word-at-a-time fast paths must be digest-identical to the textbook
+// byte loops — randomized lengths cover every remainder mod 8, plus the
+// unaligned-tail and all-0x00/0xFF edge cases.
+TEST(Hash, FastPathsMatchReferencesOnRandomInputs) {
+  sim::Rng rng(0xD1FF);
+  for (int round = 0; round < 200; ++round) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 1000));
+    std::vector<std::uint8_t> data(size);
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    ASSERT_EQ(hash_djb2(data), hash_djb2_reference(data)) << "size=" << size;
+    ASSERT_EQ(hash_sdbm(data), hash_sdbm_reference(data)) << "size=" << size;
+    ASSERT_EQ(hash_fnv1a(data), hash_fnv1a_reference(data))
+        << "size=" << size;
+  }
+}
+
+TEST(Hash, FastPathsMatchReferencesOnEdgeLengths) {
+  for (std::size_t size : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 63u, 64u}) {
+    std::vector<std::uint8_t> zeros(size, 0x00);
+    std::vector<std::uint8_t> ones(size, 0xFF);
+    EXPECT_EQ(hash_djb2(zeros), hash_djb2_reference(zeros)) << size;
+    EXPECT_EQ(hash_djb2(ones), hash_djb2_reference(ones)) << size;
+    EXPECT_EQ(hash_sdbm(zeros), hash_sdbm_reference(zeros)) << size;
+    EXPECT_EQ(hash_sdbm(ones), hash_sdbm_reference(ones)) << size;
+    EXPECT_EQ(hash_fnv1a(zeros), hash_fnv1a_reference(zeros)) << size;
+    EXPECT_EQ(hash_fnv1a(ones), hash_fnv1a_reference(ones)) << size;
+  }
 }
 
 TEST(Hash, KindNames) {

@@ -199,5 +199,97 @@ TEST(Engine, CancelledEventDoesNotAdvanceClock) {
   EXPECT_EQ(engine.now(), Time::from_ms(10));
 }
 
+TEST(Engine, PendingCountExcludesCancelledEntries) {
+  Engine engine;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(engine.schedule_at(Time::from_ms(i + 1), [] {}));
+  }
+  EXPECT_EQ(engine.pending_count(), 10u);
+  for (int i = 0; i < 4; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(engine.pending_count(), 6u);
+  EXPECT_EQ(engine.cancelled_pending(), 4u);
+  // Double-cancel must not double-count.
+  handles[0].cancel();
+  EXPECT_EQ(engine.cancelled_pending(), 4u);
+}
+
+TEST(Engine, LazyCompactionSweepsCancelledMajority) {
+  // Cancel far more than half of a >= 64-entry heap, then schedule: the
+  // lazy sweep reclaims the dead entries without losing any live event.
+  Engine engine;
+  std::vector<EventHandle> doomed;
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    doomed.push_back(
+        engine.schedule_at(Time::from_ms(1000 + i), [&fired] { ++fired; }));
+  }
+  std::vector<Time> live_times;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(Time::from_ms(1 + i), [&fired] { ++fired; });
+    live_times.push_back(Time::from_ms(1 + i));
+  }
+  for (EventHandle& h : doomed) h.cancel();
+  EXPECT_EQ(engine.pending_count(), 10u);
+  EXPECT_EQ(engine.cancelled_pending(), 200u);
+  // The next schedule notices cancelled > heap/2 and sweeps.
+  engine.schedule_at(Time::from_ms(500), [&fired] { ++fired; });
+  EXPECT_GE(engine.compactions(), 1u);
+  EXPECT_EQ(engine.cancelled_pending(), 0u);
+  EXPECT_EQ(engine.pending_count(), 11u);
+  EXPECT_EQ(engine.cancelled_popped(), 200u);
+  // Every live event still fires, in time order.
+  engine.run_all();
+  EXPECT_EQ(fired, 11);
+  EXPECT_EQ(engine.now(), Time::from_ms(500));
+}
+
+TEST(Engine, SmallHeapsSkipCompaction) {
+  // Unit-scale workloads (heap < 64) never compact: cancelled entries are
+  // skipped at pop time, keeping cancelled_popped() semantics exact for
+  // the small tests above.
+  Engine engine;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 20; ++i) {
+    handles.push_back(engine.schedule_at(Time::from_ms(i + 1), [] {}));
+  }
+  for (EventHandle& h : handles) h.cancel();
+  engine.schedule_at(Time::from_ms(100), [] {});
+  EXPECT_EQ(engine.compactions(), 0u);
+  EXPECT_EQ(engine.cancelled_pending(), 20u);
+  engine.run_all();
+  EXPECT_EQ(engine.cancelled_popped(), 20u);
+}
+
+TEST(Engine, CancelAfterCompactionIsSafe) {
+  // A handle whose entry was swept out must stay inert: cancel() again,
+  // pending(), when() — no crash, no tally corruption.
+  Engine engine;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 128; ++i) {
+    doomed.push_back(engine.schedule_at(Time::from_ms(10 + i), [] {}));
+  }
+  for (EventHandle& h : doomed) h.cancel();
+  engine.schedule_at(Time::from_ms(1), [] {});  // triggers the sweep
+  EXPECT_GE(engine.compactions(), 1u);
+  for (EventHandle& h : doomed) {
+    EXPECT_FALSE(h.pending());
+    h.cancel();  // no-op
+  }
+  EXPECT_EQ(engine.cancelled_pending(), 0u);
+}
+
+TEST(Engine, HandleOutlivingEngineIsSafe) {
+  // ~Engine nulls the heap back-pointers; a surviving handle must not
+  // write through a dangling tally pointer.
+  EventHandle survivor;
+  {
+    Engine engine;
+    survivor = engine.schedule_at(Time::from_ms(1), [] {});
+  }
+  survivor.cancel();  // must not touch freed engine state
+  EXPECT_FALSE(survivor.pending());
+}
+
 }  // namespace
 }  // namespace satin::sim

@@ -1,0 +1,214 @@
+// TrialRunner: the determinism contract is the whole point — jobs=1 and
+// jobs=8 must produce byte-identical merged metrics, identically ordered
+// traces and identical result slots, because benches print from exactly
+// this machinery.
+#include "sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/seed_seq.h"
+
+namespace satin::sim {
+namespace {
+
+TEST(TrialSeedSeq, StatelessAndOrderIndependent) {
+  TrialSeedSeq seq(1234);
+  const std::uint64_t s7 = seq.seed_for(7);
+  const std::uint64_t s0 = seq.seed_for(0);
+  // Asking again, in any order, returns the same values.
+  EXPECT_EQ(seq.seed_for(0), s0);
+  EXPECT_EQ(seq.seed_for(7), s7);
+  // A fresh sequence from the same root agrees.
+  TrialSeedSeq again(1234);
+  EXPECT_EQ(again.seed_for(0), s0);
+  EXPECT_EQ(again.seed_for(7), s7);
+  // Different roots and different indices decorrelate.
+  TrialSeedSeq other(1235);
+  EXPECT_NE(other.seed_for(0), s0);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 100; ++i) seeds.insert(seq.seed_for(i));
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(TrialRunner, ResultsLandInSubmissionOrderSlots) {
+  TrialRunnerOptions options;
+  options.jobs = 8;
+  TrialRunner runner(options);
+  const auto results = runner.run_collect(
+      std::size_t{64}, [](const TrialContext& ctx) {
+        return static_cast<int>(ctx.index) * 10;
+      });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) * 10);
+  }
+  EXPECT_EQ(runner.trials_run(), 64u);
+  EXPECT_GE(runner.wall_seconds(), 0.0);
+}
+
+TEST(TrialRunner, SeedsMatchSeedSeqForAnyJobCount) {
+  for (int jobs : {1, 3, 8}) {
+    TrialRunnerOptions options;
+    options.jobs = jobs;
+    options.root_seed = 99;
+    TrialRunner runner(options);
+    const auto seeds = runner.run_collect(
+        std::size_t{16},
+        [](const TrialContext& ctx) { return ctx.seed; });
+    TrialSeedSeq expected(99);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      EXPECT_EQ(seeds[i], expected.seed_for(i)) << "jobs=" << jobs;
+    }
+  }
+}
+
+// The per-trial workload every determinism test runs: counters keyed by
+// parity, one histogram, one gauge, a couple of trace events. Values
+// depend only on the trial index.
+void emit_trial_obs(const TrialContext& ctx) {
+  SATIN_METRIC_INC("trial.count");
+  SATIN_METRIC_ADD("trial.index_sum", ctx.index);
+  SATIN_METRIC_GAUGE_SET("trial.last_index", ctx.index);
+  SATIN_METRIC_OBSERVE("trial.value", 1e-6 * static_cast<double>(ctx.index));
+  SATIN_TRACE_INSTANT_ARG("test", "trial", sim::Time::zero(),
+                          static_cast<int>(ctx.index % 4), obs::kWorldNormal,
+                          "index", ctx.index);
+}
+
+std::string run_and_snapshot_metrics(int jobs, std::size_t trials) {
+  obs::MetricsRegistry registry;
+  obs::install_metrics(&registry);
+  TrialRunnerOptions options;
+  options.jobs = jobs;
+  TrialRunner runner(options);
+  runner.run(trials, emit_trial_obs);
+  obs::install_metrics(nullptr);
+  return registry.to_json();
+}
+
+TEST(TrialRunner, MetricsSnapshotsAreByteIdenticalAcrossJobCounts) {
+  const std::string serial = run_and_snapshot_metrics(1, 37);
+  const std::string parallel = run_and_snapshot_metrics(8, 37);
+  EXPECT_EQ(serial, parallel);
+#if SATIN_OBS_ENABLED
+  // And the content is the deterministic fold of all trials.
+  obs::MetricsRegistry registry;
+  obs::install_metrics(&registry);
+  TrialRunnerOptions options;
+  options.jobs = 8;
+  TrialRunner runner(options);
+  runner.run(std::size_t{37}, emit_trial_obs);
+  obs::install_metrics(nullptr);
+  EXPECT_EQ(registry.counter("trial.count").value(), 37u);
+  EXPECT_EQ(registry.counter("trial.index_sum").value(), 37u * 36u / 2u);
+  EXPECT_DOUBLE_EQ(registry.gauge("trial.last_index").value(), 36.0);
+  EXPECT_EQ(registry.histogram("trial.value").moments().count(), 37u);
+#endif
+}
+
+TEST(TrialRunner, TraceEventsMergeInSubmissionOrder) {
+  for (int jobs : {1, 8}) {
+    obs::TraceRecorder recorder(1024);
+    obs::install_tracer(&recorder);
+    TrialRunnerOptions options;
+    options.jobs = jobs;
+    TrialRunner runner(options);
+    runner.run(std::size_t{20}, emit_trial_obs);
+    obs::install_tracer(nullptr);
+    const auto events = recorder.snapshot();
+#if SATIN_OBS_ENABLED
+    ASSERT_EQ(events.size(), 20u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_DOUBLE_EQ(events[i].arg_value, static_cast<double>(i))
+          << "jobs=" << jobs;
+    }
+#else
+    EXPECT_TRUE(events.empty());
+#endif
+  }
+}
+
+TEST(TrialRunner, NoSinksInstalledMeansNoObsOverheadAndNoCrash) {
+  obs::install_metrics(nullptr);
+  obs::install_tracer(nullptr);
+  TrialRunnerOptions options;
+  options.jobs = 4;
+  TrialRunner runner(options);
+  std::atomic<int> ran{0};
+  runner.run(std::size_t{8}, [&ran](const TrialContext&) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(TrialRunner, FirstExceptionBySubmissionOrderIsRethrown) {
+  for (int jobs : {1, 8}) {
+    TrialRunnerOptions options;
+    options.jobs = jobs;
+    TrialRunner runner(options);
+    std::atomic<int> completed{0};
+    try {
+      runner.run(std::size_t{16}, [&completed](const TrialContext& ctx) {
+        if (ctx.index == 11) throw std::runtime_error("trial 11 failed");
+        if (ctx.index == 5) throw std::runtime_error("trial 5 failed");
+        ++completed;
+      });
+      FAIL() << "expected a rethrown trial exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "trial 5 failed") << "jobs=" << jobs;
+    }
+    // Every other trial still ran to completion before the rethrow.
+    EXPECT_EQ(completed.load(), 14) << "jobs=" << jobs;
+  }
+}
+
+TEST(TrialRunner, FailedTrialsStillMergeTheirPartialObs) {
+  obs::MetricsRegistry registry;
+  obs::install_metrics(&registry);
+  TrialRunnerOptions options;
+  options.jobs = 8;
+  TrialRunner runner(options);
+  EXPECT_THROW(
+      runner.run(std::size_t{10},
+                 [](const TrialContext& ctx) {
+                   SATIN_METRIC_INC("attempted");
+                   if (ctx.index == 3) throw std::runtime_error("boom");
+                   SATIN_METRIC_INC("finished");
+                 }),
+      std::runtime_error);
+  obs::install_metrics(nullptr);
+#if SATIN_OBS_ENABLED
+  EXPECT_EQ(registry.counter("attempted").value(), 10u);
+  EXPECT_EQ(registry.counter("finished").value(), 9u);
+#endif
+}
+
+TEST(TrialRunner, JobsForClampsToTrialCountAndHardware) {
+  TrialRunnerOptions options;
+  options.jobs = 8;
+  TrialRunner runner(options);
+  EXPECT_EQ(runner.jobs_for(3), 3);
+  EXPECT_EQ(runner.jobs_for(100), 8);
+  EXPECT_GE(TrialRunner::hardware_jobs(), 1);
+  TrialRunnerOptions hw;
+  hw.jobs = 0;  // auto
+  TrialRunner auto_runner(hw);
+  EXPECT_EQ(auto_runner.jobs_for(1000), TrialRunner::hardware_jobs());
+}
+
+TEST(TrialRunner, ZeroTrialsIsANoOp) {
+  TrialRunner runner;
+  bool ran = false;
+  runner.run(std::size_t{0}, [&ran](const TrialContext&) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(runner.trials_run(), 0u);
+}
+
+}  // namespace
+}  // namespace satin::sim
