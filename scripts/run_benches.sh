@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Runs the reproduction benches and collects machine-readable timings into
-# BENCH_pr3.json: per-bench wall-clock, the BENCHJSON self-reports the
-# parallel benches print on stderr (trials, jobs, trials/sec), and the
-# host's job count. Run from anywhere; builds are NOT triggered here —
-# point BUILD_DIR at an existing build (default <repo>/build).
+# BENCH_pr4.json: per-bench wall-clock, the BENCHJSON self-reports the
+# parallel benches print on stderr (trials, jobs, trials/sec), the digest
+# cache counters from each bench's metrics snapshot, and a cache-on vs
+# cache-off comparison of the hash-dominated clean-rounds workload. Run
+# from anywhere; builds are NOT triggered here — point BUILD_DIR at an
+# existing build (default <repo>/build).
 #
 #   scripts/run_benches.sh                 # all benches, --jobs=$(nproc)
 #   JOBS=1 scripts/run_benches.sh          # serial baseline
@@ -14,7 +16,9 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$repo/build}"
 jobs="${JOBS:-$(nproc)}"
-out="${OUT:-$repo/BENCH_pr3.json}"
+out="${OUT:-$repo/BENCH_pr4.json}"
+baseline="${BASELINE:-$repo/BENCH_pr3.json}"
+clean_rounds="${CLEAN_ROUNDS:-1900}"
 
 # Benches/examples that accept --jobs (fanned over sim::TrialRunner),
 # then the serial ones — everything still gets wall-clock timed.
@@ -55,7 +59,24 @@ is_parallel() {
 }
 
 tmp_err="$(mktemp)"
-trap 'rm -f "$tmp_err"' EXIT
+tmp_metrics="$(mktemp)"
+trap 'rm -f "$tmp_err" "$tmp_metrics" "$tmp_metrics.jsonl"' EXIT
+
+# digest_cache.{hits,misses,invalidations} from a metrics snapshot, as a
+# JSON object (null when the snapshot has no cache counters).
+cache_counters() {
+  python3 - "$1" <<'PY'
+import json, sys
+try:
+    counters = json.load(open(sys.argv[1])).get("counters", {})
+except Exception:
+    print("null"); raise SystemExit
+keys = ("hits", "misses", "invalidations")
+if not any(f"digest_cache.{k}" in counters for k in keys):
+    print("null"); raise SystemExit
+print(json.dumps({k: int(counters.get(f"digest_cache.{k}", 0)) for k in keys}))
+PY
+}
 
 rows=""
 for b in "${benches[@]}"; do
@@ -65,9 +86,10 @@ for b in "${benches[@]}"; do
     echo "skip $name (not built: $exe)" >&2
     continue
   fi
-  args=()
+  args=("--metrics=$tmp_metrics")
   if is_parallel "$b"; then args+=("--jobs=$jobs"); fi
   echo "== $name ${args[*]:-}" >&2
+  : >"$tmp_metrics"
   start="$EPOCHREALTIME"
   "$exe" "${args[@]}" >/dev/null 2>"$tmp_err"
   end="$EPOCHREALTIME"
@@ -76,12 +98,71 @@ for b in "${benches[@]}"; do
   # just the fanned-out portion; absent for serial benches.
   self="$(grep -o 'BENCHJSON {.*}' "$tmp_err" | tail -1 | sed 's/^BENCHJSON //' || true)"
   [ -n "$self" ] || self="null"
-  row="$(printf '{"bench":"%s","wall_s":%s,"jobs":%s,"self":%s}' \
-         "$name" "$wall" "$jobs" "$self")"
+  cache="$(cache_counters "$tmp_metrics")"
+  row="$(printf '{"bench":"%s","wall_s":%s,"jobs":%s,"self":%s,"digest_cache":%s}' \
+         "$name" "$wall" "$jobs" "$self" "$cache")"
   rows="${rows:+$rows,}$row"
   echo "   ${wall}s" >&2
 done
 
-printf '{"schema":"satin-bench-pr3/1","nproc":%s,"jobs":%s,"benches":[%s]}\n' \
-  "$(nproc)" "$jobs" "$rows" >"$out"
+# Cache on-vs-off on the hash-dominated clean-rounds workload: same
+# simulation twice, stdout must be byte-identical, wall time must not be.
+cache_cmp="null"
+detect="$build/bench/bench_satin_detection"
+if [ -x "$detect" ] && { [ "$#" -eq 0 ] || [[ " $* " == *" bench_satin_detection "* ]]; }; then
+  echo "== bench_satin_detection --clean-rounds=$clean_rounds (cache on vs off)" >&2
+  on_out="$(mktemp)" off_out="$(mktemp)"
+  on_wall=""
+  off_wall=""
+  for mode in on off; do
+    : >"$tmp_metrics"
+    start="$EPOCHREALTIME"
+    "$detect" "--clean-rounds=$clean_rounds" "--digest-cache=$mode" \
+      "--metrics=$tmp_metrics" >"$([ "$mode" = on ] && echo "$on_out" || echo "$off_out")" 2>"$tmp_err"
+    end="$EPOCHREALTIME"
+    wall="$(awk -v a="$start" -v b="$end" 'BEGIN{printf "%.6f", b-a}')"
+    if [ "$mode" = on ]; then on_wall="$wall"; on_cache="$(cache_counters "$tmp_metrics")"; else off_wall="$wall"; fi
+    echo "   --digest-cache=$mode: ${wall}s" >&2
+  done
+  if ! diff -q "$on_out" "$off_out" >/dev/null; then
+    echo "ERROR: clean-rounds stdout differs between --digest-cache=on and off" >&2
+    diff "$on_out" "$off_out" >&2 || true
+    rm -f "$on_out" "$off_out"
+    exit 1
+  fi
+  echo "   stdout identical across modes" >&2
+  speedup="$(awk -v on="$on_wall" -v off="$off_wall" 'BEGIN{printf "%.2f", (on > 0) ? off / on : 0}')"
+  echo "   speedup (off/on): ${speedup}x" >&2
+  cache_cmp="$(printf '{"rounds":%s,"wall_s_on":%s,"wall_s_off":%s,"speedup":%s,"stdout_identical":true,"digest_cache":%s}' \
+               "$clean_rounds" "$on_wall" "$off_wall" "$speedup" "$on_cache")"
+  rm -f "$on_out" "$off_out"
+fi
+
+printf '{"schema":"satin-bench-pr4/1","nproc":%s,"jobs":%s,"clean_rounds_cache_comparison":%s,"benches":[%s]}\n' \
+  "$(nproc)" "$jobs" "$cache_cmp" "$rows" >"$out"
 echo "wrote $out" >&2
+
+# Host-time delta table against the previous PR's record, when present.
+if [ -f "$baseline" ]; then
+  python3 - "$baseline" "$out" <<'PY'
+import json, sys
+
+def rows(path):
+    with open(path) as f:
+        return {b["bench"]: b["wall_s"] for b in json.load(f).get("benches", [])}
+
+old, new = rows(sys.argv[1]), rows(sys.argv[2])
+print(f"\nhost-time delta vs {sys.argv[1]}:")
+print(f"{'bench':<32} {'pr3 (s)':>10} {'pr4 (s)':>10} {'delta':>8}")
+for name in sorted(set(old) | set(new)):
+    o, n = old.get(name), new.get(name)
+    if o is None or n is None:
+        status = "new" if o is None else "gone"
+        val = n if n is not None else o
+        print(f"{name:<32} {'-' if o is None else f'{o:10.3f}':>10} "
+              f"{'-' if n is None else f'{n:10.3f}':>10} {status:>8}")
+        continue
+    delta = (n - o) / o * 100 if o > 0 else 0.0
+    print(f"{name:<32} {o:>10.3f} {n:>10.3f} {delta:>+7.1f}%")
+PY
+fi

@@ -26,6 +26,11 @@ IntegrityChecker::IntegrityChecker(hw::Platform& platform,
   if (areas_.empty()) {
     throw std::invalid_argument("IntegrityChecker: no areas");
   }
+  // Register the area set with the introspector so its incremental digest
+  // cache pre-sizes one chunk table per area before the first round.
+  for (const Area& area : areas_) {
+    introspector_.register_area(area.offset, area.size);
+  }
 }
 
 void IntegrityChecker::authorize_boot_state() {

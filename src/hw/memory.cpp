@@ -3,13 +3,72 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace satin::hw {
 
-Memory::Memory(std::size_t size) : bytes_(size, 0) {}
+namespace {
+constexpr std::size_t kChunksPerSuper = 64;
+}  // namespace
+
+Memory::Memory(std::size_t size)
+    : bytes_(size, 0),
+      chunk_gen_((size + kChunkBytes - 1) / kChunkBytes, 0),
+      super_gen_((chunk_gen_.size() + kChunksPerSuper - 1) / kChunksPerSuper,
+                 0) {}
+
+void Memory::check_range(const char* what, std::size_t offset,
+                         std::size_t length) const {
+  if (offset > bytes_.size() || length > bytes_.size() - offset) {
+    throw std::out_of_range(std::string("Memory::") + what + ": offset " +
+                            std::to_string(offset) + " + len " +
+                            std::to_string(length) + " exceeds size " +
+                            std::to_string(bytes_.size()));
+  }
+}
+
+void Memory::bump_generations(std::size_t offset, std::size_t length) {
+  if (length == 0) return;
+  ++generation_;
+  const std::size_t first = offset / kChunkBytes;
+  const std::size_t last = (offset + length - 1) / kChunkBytes;
+  for (std::size_t c = first; c <= last; ++c) {
+    chunk_gen_[c] = generation_;
+    super_gen_[c / kChunksPerSuper] = generation_;
+  }
+}
+
+std::uint64_t Memory::generation(std::size_t offset,
+                                 std::size_t length) const {
+  check_range("generation", offset, length);
+  if (length == 0) return 0;
+  if (offset == 0 && length == bytes_.size()) return generation_;
+  const std::size_t first = offset / kChunkBytes;
+  const std::size_t last = (offset + length - 1) / kChunkBytes;
+  std::uint64_t max_gen = 0;
+  std::size_t c = first;
+  while (c <= last) {
+    const std::size_t super = c / kChunksPerSuper;
+    const std::size_t super_first = super * kChunksPerSuper;
+    const std::size_t super_last = super_first + kChunksPerSuper - 1;
+    if (c == super_first && super_last <= last) {
+      // Whole superchunk inside the range: one load covers 64 chunks.
+      max_gen = std::max(max_gen, super_gen_[super]);
+      c = super_last + 1;
+      continue;
+    }
+    const std::size_t stop = std::min(last, super_last);
+    if (super_gen_[super] > max_gen) {
+      // Only worth walking chunks when the superchunk could raise the max.
+      for (; c <= stop; ++c) max_gen = std::max(max_gen, chunk_gen_[c]);
+    }
+    c = stop + 1;
+  }
+  return max_gen;
+}
 
 void Memory::materialize_overlapping(std::size_t offset, std::size_t length) {
   for (ActiveScan& scan : scans_) {
@@ -25,23 +84,21 @@ void Memory::materialize_overlapping(std::size_t offset, std::size_t length) {
 }
 
 void Memory::poke(std::size_t offset, std::span<const std::uint8_t> data) {
-  if (offset + data.size() > bytes_.size()) {
-    throw std::out_of_range("Memory::poke out of range");
-  }
+  check_range("poke", offset, data.size());
   // An untimed poke is invisible to in-flight scans (their snapshot is
   // anchored at scan start); give overlapped scans their private view
   // before the backing bytes move under them.
   materialize_overlapping(offset, data.size());
+  bump_generations(offset, data.size());
   std::copy(data.begin(), data.end(), bytes_.begin() + offset);
 }
 
 void Memory::write(sim::Time now, std::size_t offset,
                    std::span<const std::uint8_t> data) {
-  if (offset + data.size() > bytes_.size()) {
-    throw std::out_of_range("Memory::write out of range");
-  }
+  check_range("write", offset, data.size());
   ++write_count_;
   materialize_overlapping(offset, data.size());
+  bump_generations(offset, data.size());
   for (ActiveScan& scan : scans_) {
     const std::size_t scan_end = scan.offset + scan.length;
     const std::size_t lo = std::max(offset, scan.offset);
@@ -74,9 +131,7 @@ void Memory::write(sim::Time now, std::size_t offset,
 
 Memory::ScanToken Memory::begin_scan(sim::Time start, std::size_t offset,
                                      std::size_t length, double per_byte_ps) {
-  if (offset + length > bytes_.size()) {
-    throw std::out_of_range("Memory::begin_scan out of range");
-  }
+  check_range("begin_scan", offset, length);
   if (length == 0) throw std::invalid_argument("Memory::begin_scan: empty");
   if (!(per_byte_ps > 0.0)) {
     throw std::invalid_argument("Memory::begin_scan: non-positive speed");
@@ -97,6 +152,21 @@ Memory::ScanToken Memory::begin_scan(sim::Time start, std::size_t offset,
                      bytes_.begin() + static_cast<std::ptrdiff_t>(offset + length));
     scan.materialized = true;
     fault_hooks_->corrupt_scan_view(start, offset, scan.view);
+    // A glitched view never enters the digest cache (it is materialized,
+    // hence bypassed), but mark the flipped chunks dirty anyway so any
+    // cached digest covering them is conservatively recomputed from the
+    // (clean) backing bytes on the next round.
+    for (std::size_t i = 0; i < length;) {
+      const std::size_t chunk_end =
+          std::min(length, ((offset + i) / kChunkBytes + 1) * kChunkBytes -
+                               offset);
+      if (!std::equal(scan.view.begin() + static_cast<std::ptrdiff_t>(i),
+                      scan.view.begin() + static_cast<std::ptrdiff_t>(chunk_end),
+                      bytes_.begin() + static_cast<std::ptrdiff_t>(offset + i))) {
+        bump_generations(offset + i, chunk_end - i);
+      }
+      i = chunk_end;
+    }
   }
   scans_.push_back(std::move(scan));
   return ScanToken(scans_.back().id);

@@ -27,6 +27,12 @@ namespace satin::hw {
 
 class Memory {
  public:
+  // Dirty-tracking granule: every mutation (timed write, untimed poke,
+  // fault-injected view corruption) bumps a monotonic generation counter
+  // on each kChunkBytes-aligned chunk it touches. The secure world's
+  // incremental digest cache keys per-chunk work on these generations.
+  static constexpr std::size_t kChunkBytes = 256;
+
   explicit Memory(std::size_t size);
 
   std::size_t size() const { return bytes_.size(); }
@@ -125,6 +131,26 @@ class Memory {
   // Total timed writes observed (diagnostics).
   std::uint64_t write_count() const { return write_count_; }
 
+  // --- Write-generation dirty tracking ---------------------------------
+  // Global mutation counter, O(1): bumped once per write/poke (and per
+  // fault-corrupted scan view). Equal counters across two instants mean
+  // no byte anywhere changed in between — the digest cache's cheapest
+  // all-clean check.
+  std::uint64_t write_generation() const { return generation_; }
+
+  std::size_t chunk_count() const { return chunk_gen_.size(); }
+
+  // Generation of one chunk (0 = never mutated), O(1).
+  std::uint64_t chunk_generation(std::size_t chunk) const {
+    return chunk_gen_.at(chunk);
+  }
+
+  // Max generation over the chunks overlapping [offset, offset+length):
+  // the aggregate freshness key for a range. O(1) for the full range and
+  // for the unchanged-global fast path callers use; otherwise one load
+  // per 64-chunk superchunk (plus edge chunks) — ~16 KiB per load.
+  std::uint64_t generation(std::size_t offset, std::size_t length) const;
+
   // Fault-injection seam: consulted as each scan registers its view; may
   // flip bits in what the scanner will observe (transient read glitch —
   // the backing bytes stay intact, so a re-read comes back clean).
@@ -148,11 +174,26 @@ class Memory {
   // [offset, offset + length) — must run before the backing bytes change.
   void materialize_overlapping(std::size_t offset, std::size_t length);
 
+  // Fail-fast range validation for the write paths: throws out_of_range
+  // with offset/len/size spelled out, overflow-safe (offset + len may not
+  // be representable).
+  void check_range(const char* what, std::size_t offset,
+                   std::size_t length) const;
+
+  // Marks every chunk overlapping [offset, offset+length) dirty under a
+  // freshly bumped global generation.
+  void bump_generations(std::size_t offset, std::size_t length);
+
   std::vector<std::uint8_t> bytes_;
   FaultHooks* fault_hooks_ = nullptr;
   std::list<ActiveScan> scans_;
   std::uint64_t next_scan_id_ = 1;
   std::uint64_t write_count_ = 0;
+  // Dirty tracking: per-chunk generations with a 64-chunk superchunk max
+  // level so range queries skip clean regions 16 KiB at a time.
+  std::uint64_t generation_ = 0;
+  std::vector<std::uint64_t> chunk_gen_;
+  std::vector<std::uint64_t> super_gen_;
 };
 
 }  // namespace satin::hw

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "secure/digest_cache.h"
 #include "sim/engine.h"
 #include "sim/parallel.h"
 
@@ -66,6 +67,19 @@ ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity) {
     jobs_ = std::atoi(jobs_value.c_str());
     if (jobs_ < 0) jobs_ = -1;  // nonsense value: behave as if absent
   }
+  const std::string cache_value = take_flag(argc, argv, "digest-cache");
+  if (cache_value == "off") {
+    digest_cache_ = false;
+  } else if (!cache_value.empty() && cache_value != "on") {
+    std::fprintf(stderr,
+                 "obs: --digest-cache=%s not understood (want on|off), "
+                 "keeping default on\n",
+                 cache_value.c_str());
+  }
+  // Process-wide default read by every secure::DigestCache constructed
+  // after this point (one per Introspector, i.e. per trial — workers
+  // inherit the value set here before the pool fans out).
+  secure::set_digest_cache_default(digest_cache_);
   // One flag should yield the full picture: a trace without an explicit
   // metrics path still drops a snapshot next to it.
   if (!trace_path_.empty() && metrics_path_.empty()) {

@@ -39,13 +39,17 @@ void snapshot_engine_metrics(const sim::Engine& engine,
 
 class ObsSession {
  public:
-  // Consumes --trace= / --metrics= / --faults= / --jobs= from argv (argc
-  // is rewritten). When no flag is present the session installs nothing
-  // and costs nothing. The faults spec is only stripped and stored — the
-  // obs layer knows nothing about fault injection; pass faults_spec() to
-  // fault::install_from_spec() to arm it. --jobs is likewise only parsed
-  // and stored, for sim::TrialRunner: J worker threads, 0 = one per
-  // hardware thread, absent = the caller's fallback (typically 1).
+  // Consumes --trace= / --metrics= / --faults= / --jobs= /
+  // --digest-cache= from argv (argc is rewritten). When no flag is
+  // present the session installs nothing and costs nothing. The faults
+  // spec is only stripped and stored — the obs layer knows nothing about
+  // fault injection; pass faults_spec() to fault::install_from_spec() to
+  // arm it. --jobs is likewise only parsed and stored, for
+  // sim::TrialRunner: J worker threads, 0 = one per hardware thread,
+  // absent = the caller's fallback (typically 1). --digest-cache=on|off
+  // (default on) sets the process-wide default for the secure world's
+  // incremental digest cache; off runs the cache in shadow mode —
+  // bit-identical stdout/metrics/traces/digests, full re-hash every round.
   ObsSession(int& argc, char** argv,
              std::size_t trace_capacity = 1u << 20);
   ~ObsSession();
@@ -57,6 +61,7 @@ class ObsSession {
   bool metrics_enabled() const { return registry_ != nullptr; }
   bool faults_requested() const { return !faults_spec_.empty(); }
   bool jobs_requested() const { return jobs_ >= 0; }
+  bool digest_cache_enabled() const { return digest_cache_; }
   // Parsed --jobs value; `fallback` when the flag was absent, one worker
   // per hardware thread when it was --jobs=0.
   int jobs(int fallback = 1) const;
@@ -78,6 +83,7 @@ class ObsSession {
   std::string metrics_path_;
   std::string faults_spec_;
   int jobs_ = -1;  // -1 = flag absent
+  bool digest_cache_ = true;
   std::unique_ptr<TraceRecorder> recorder_;
   std::unique_ptr<MetricsRegistry> registry_;
   bool flushed_ = false;

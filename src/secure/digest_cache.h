@@ -1,0 +1,138 @@
+// Incremental digest cache for the secure-world introspection hot path.
+//
+// The paper's workloads run thousands of introspection rounds over kernel
+// areas that are almost never modified between rounds: the common case is
+// a clean re-hash of byte-identical text/syscall-table bytes. This cache
+// makes repeated rounds O(dirty bytes) in *host* time while leaving
+// *simulated* time and every digest bit-identical to the byte reference:
+//
+//  * hw::Memory stamps a monotonic write-generation on every 256-byte
+//    chunk a write/poke (or fault glitch) touches;
+//  * per (area, chunk) we memoize the streaming hash state entering and
+//    leaving the chunk (hash_resume: H(a‖b) = resume(H(a), b), exact for
+//    djb2/sdbm/FNV-1a) keyed by the chunk's generation;
+//  * a round re-hashes only chunks whose generation moved (or whose
+//    incoming state shifted because an earlier chunk changed) and resumes
+//    across the clean ones; an all-clean round is O(1) via the global
+//    write-generation counter.
+//
+// TOCTTOU and fault semantics are untouched by construction: a scan that
+// was raced by a timed write or glitched by a fault hook materializes a
+// private view (hw::Memory copy-on-first-overlap), and any materialized
+// view bypasses the cache entirely — its bytes are not the backing bytes
+// the generations describe. Simulated scan time is charged in full by the
+// Introspector regardless of cache hits.
+//
+// `--digest-cache=off` (obs::ObsSession) switches every cache constructed
+// afterwards into *shadow mode*: the full bookkeeping still runs — so
+// hit/miss/invalidation counters and trace instants stay bit-identical to
+// the enabled run — but the returned digest is an independent full
+// re-hash of the observed view, i.e. exactly the pre-cache behavior. The
+// differential tests (and the CI on-vs-off gate) hold the two modes to
+// identical stdout, metrics and digests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "hw/memory.h"
+#include "secure/hash.h"
+
+namespace satin::secure {
+
+// Process-wide default for newly constructed caches. Header-only so
+// obs::ObsSession can set it from --digest-cache= without a link-time
+// dependency on satin_secure. Set before trials fan out; workers only
+// read it.
+inline std::atomic<bool>& digest_cache_default_flag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+inline bool digest_cache_default() {
+  return digest_cache_default_flag().load(std::memory_order_relaxed);
+}
+inline void set_digest_cache_default(bool enabled) {
+  digest_cache_default_flag().store(enabled, std::memory_order_relaxed);
+}
+
+class DigestCache {
+ public:
+  // What one round's digest computation did. Bookkeeping is identical
+  // whether the cache is enabled or shadowing, so everything here may be
+  // printed/traced without breaking the on-vs-off identity contract.
+  struct RoundOutcome {
+    std::uint64_t digest = 0;
+    std::uint64_t chunk_hits = 0;           // chunks resumed from cache
+    std::uint64_t chunk_misses = 0;         // chunks (re)hashed
+    std::uint64_t chunk_invalidations = 0;  // misses caused by a dirty gen
+    std::uint64_t bytes_hashed = 0;   // logical: what an enabled run hashes
+    std::uint64_t bytes_skipped = 0;
+    bool bypassed = false;  // raced/faulted view: cache not consulted
+  };
+
+  // Cumulative totals across rounds (same counting rules as RoundOutcome).
+  struct Stats {
+    std::uint64_t rounds = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t bypasses = 0;
+    std::uint64_t bytes_hashed = 0;
+    std::uint64_t bytes_skipped = 0;
+  };
+
+  explicit DigestCache(HashKind kind, bool enabled = digest_cache_default(),
+                       std::size_t chunk_bytes = hw::Memory::kChunkBytes);
+
+  HashKind kind() const { return kind_; }
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  std::size_t chunk_bytes() const { return chunk_bytes_; }
+
+  // Pre-sizes the chunk table for an area (optional; round_digest creates
+  // tables on demand). IntegrityChecker registers every area at boot.
+  void register_area(std::size_t offset, std::size_t length);
+  std::size_t area_count() const { return areas_.size(); }
+
+  // Digest of `view`, the bytes a finished scan observed over
+  // [offset, offset + view.size()) of `mem`. `trusted_view` must be false
+  // when the scan materialized a private view (raced write or fault
+  // glitch): those bytes are not the backing bytes the generations
+  // describe, so the round is fully re-hashed and the cache is neither
+  // consulted nor updated.
+  RoundOutcome round_digest(const hw::Memory& mem, std::size_t offset,
+                            std::span<const std::uint8_t> view,
+                            bool trusted_view);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct ChunkEntry {
+    std::uint64_t gen = 0;        // hw::Memory generation when computed
+    std::uint64_t state_in = 0;   // hash state entering this chunk
+    std::uint64_t state_out = 0;  // state after absorbing the chunk
+    bool computed = false;
+  };
+  struct AreaCache {
+    std::vector<ChunkEntry> chunks;
+    std::uint64_t area_gen = 0;    // generation(offset, length) last round
+    std::uint64_t global_gen = 0;  // write_generation() last round
+    std::uint64_t digest = 0;
+    bool valid = false;
+  };
+
+  AreaCache& area_for(std::size_t offset, std::size_t length);
+  void account(const RoundOutcome& out);
+
+  HashKind kind_;
+  bool enabled_;
+  std::size_t chunk_bytes_;
+  std::map<std::pair<std::size_t, std::size_t>, AreaCache> areas_;
+  Stats stats_;
+};
+
+}  // namespace satin::secure

@@ -22,7 +22,8 @@ Introspector::Introspector(hw::Platform& platform, HashKind hash,
     : platform_(platform),
       hash_(hash),
       strategy_(strategy),
-      rng_(platform.rng().fork("introspector")) {}
+      rng_(platform.rng().fork("introspector")),
+      cache_(hash) {}
 
 double Introspector::sample_per_byte_seconds(hw::CoreType type) {
   const hw::JitterSpec& spec = strategy_ == ScanStrategy::kDirectHash
@@ -47,10 +48,16 @@ void Introspector::scan_async(hw::CoreId core, std::size_t offset,
       total, [this, core, token, offset, length, start, per_byte_s,
               done = std::move(done)]() mutable {
         // Zero-copy on the common no-race path: the view is a window into
-        // physical memory, hashed before anything else can mutate it.
+        // physical memory, hashed before anything else can mutate it. A
+        // materialized (owned) view means a timed write raced the cursor
+        // or a fault hook glitched the observed bytes — those rounds
+        // bypass the incremental cache and re-hash in full, so detection
+        // semantics never depend on cache state.
         const auto seen = platform_.memory().finish_scan(token);
+        const auto cached = cache_.round_digest(platform_.memory(), offset,
+                                                seen.bytes(), !seen.owned());
         ScanResult result;
-        result.digest = hash_bytes(hash_, seen.bytes());
+        result.digest = cached.digest;
         result.offset = offset;
         result.length = length;
         result.scan_start = start;
@@ -59,6 +66,26 @@ void Introspector::scan_async(hw::CoreId core, std::size_t offset,
         ++scans_;
         SATIN_TRACE_END("secure", "scan", result.scan_end, core,
                         obs::kWorldSecure);
+        // Cache observability. RoundOutcome bookkeeping is identical with
+        // the cache enabled or shadowed (--digest-cache=off), so these
+        // counters and instants are part of the bit-identity contract,
+        // not an exception to it. Simulated scan time above was already
+        // charged in full — hits only save host time.
+        SATIN_TRACE_INSTANT_ARG(
+            "secure",
+            cached.bypassed
+                ? "digest_cache_bypass"
+                : (cached.chunk_misses == 0 ? "digest_cache_clean"
+                                            : "digest_cache_partial"),
+            result.scan_end, core, obs::kWorldSecure, "bytes_hashed",
+            cached.bytes_hashed);
+        SATIN_METRIC_ADD("digest_cache.hits", cached.chunk_hits);
+        SATIN_METRIC_ADD("digest_cache.misses", cached.chunk_misses);
+        SATIN_METRIC_ADD("digest_cache.invalidations",
+                         cached.chunk_invalidations);
+        SATIN_METRIC_ADD("digest_cache.bytes_hashed", cached.bytes_hashed);
+        SATIN_METRIC_ADD("digest_cache.bytes_skipped", cached.bytes_skipped);
+        if (cached.bypassed) SATIN_METRIC_INC("digest_cache.bypasses");
         SATIN_METRIC_INC("introspect.scans");
         SATIN_METRIC_ADD("introspect.bytes_scanned", length);
         SATIN_METRIC_OBSERVE("introspect.scan_s",

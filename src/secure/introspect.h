@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "hw/platform.h"
+#include "secure/digest_cache.h"
 #include "secure/hash.h"
 
 namespace satin::secure {
@@ -58,11 +59,24 @@ class Introspector {
 
   std::uint64_t scans_completed() const { return scans_; }
 
+  // Pre-sizes the incremental digest cache for an area about to be scanned
+  // repeatedly (IntegrityChecker registers its whole area set at boot).
+  void register_area(std::size_t offset, std::size_t length) {
+    cache_.register_area(offset, length);
+  }
+
+  // The incremental digest cache behind scan_async (host-time fast path;
+  // digests, simulated time and TOCTTOU semantics are unaffected by it —
+  // see secure/digest_cache.h).
+  DigestCache& digest_cache() { return cache_; }
+  const DigestCache& digest_cache() const { return cache_; }
+
  private:
   hw::Platform& platform_;
   HashKind hash_;
   ScanStrategy strategy_;
   sim::Rng rng_;
+  DigestCache cache_;
   std::uint64_t scans_ = 0;
 };
 

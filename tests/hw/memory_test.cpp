@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <utility>
 
 namespace satin::hw {
@@ -36,6 +38,57 @@ TEST(Memory, OutOfRangeAccessesThrow) {
   EXPECT_THROW(mem.read(8), std::out_of_range);
   EXPECT_THROW(mem.begin_scan(sim::Time::zero(), 4, 5, 1000.0),
                std::out_of_range);
+}
+
+// The write paths fail fast with the offending offset/len/size spelled
+// out — both out-of-range shapes: offset beyond the end, and a length
+// that runs past the end from a valid offset.
+TEST(Memory, PokeOutOfRangeMessageNamesOffsetAndSize) {
+  Memory mem(100);
+  try {
+    mem.poke(200, bytes({1}));
+    FAIL() << "poke past the end did not throw";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("poke"), std::string::npos) << what;
+    EXPECT_NE(what.find("200"), std::string::npos) << what;
+    EXPECT_NE(what.find("100"), std::string::npos) << what;
+  }
+  try {
+    mem.poke(96, bytes({1, 2, 3, 4, 5}));
+    FAIL() << "poke running past the end did not throw";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("96"), std::string::npos) << what;
+    EXPECT_NE(what.find("5"), std::string::npos) << what;
+  }
+}
+
+TEST(Memory, WriteOutOfRangeMessageNamesOffsetAndSize) {
+  Memory mem(100);
+  try {
+    mem.write(sim::Time::zero(), 101, bytes({1}));
+    FAIL() << "write past the end did not throw";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("write"), std::string::npos) << what;
+    EXPECT_NE(what.find("101"), std::string::npos) << what;
+  }
+  try {
+    mem.write(sim::Time::zero(), 99, bytes({1, 2}));
+    FAIL() << "write running past the end did not throw";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("99"), std::string::npos) << what;
+  }
+  // Bounds math must not wrap: a huge offset with a small length is
+  // rejected, not silently accepted via overflow.
+  EXPECT_THROW(mem.poke(SIZE_MAX - 1, bytes({1, 2, 3})), std::out_of_range);
+  EXPECT_THROW(mem.write(sim::Time::zero(), SIZE_MAX, bytes({1})),
+               std::out_of_range);
+  // Nothing was written and no generation moved by any rejected call.
+  EXPECT_EQ(mem.write_generation(), 0u);
+  EXPECT_EQ(mem.write_count(), 0u);
 }
 
 TEST(Memory, BeginScanValidatesArguments) {
@@ -256,6 +309,128 @@ TEST(Memory, ZeroCopyViewTracksSubsequentMutation) {
   EXPECT_EQ(view[0], 1);
   mem.poke(0, bytes({0xFF}));
   EXPECT_EQ(view[0], 0xFF);  // window, not snapshot
+}
+
+// --- Write-generation dirty tracking -----------------------------------
+
+TEST(Memory, FreshMemoryHasZeroGenerations) {
+  Memory mem(1000);  // 4 chunks: 256+256+256+232
+  EXPECT_EQ(mem.write_generation(), 0u);
+  EXPECT_EQ(mem.chunk_count(), 4u);
+  for (std::size_t c = 0; c < mem.chunk_count(); ++c) {
+    EXPECT_EQ(mem.chunk_generation(c), 0u) << c;
+  }
+  EXPECT_EQ(mem.generation(0, 1000), 0u);
+  EXPECT_EQ(mem.generation(300, 10), 0u);
+}
+
+TEST(Memory, PokeBumpsOnlyTouchedChunks) {
+  Memory mem(1024);  // chunks 0..3
+  mem.poke(300, bytes({0xAA}));  // chunk 1
+  EXPECT_EQ(mem.write_generation(), 1u);
+  EXPECT_EQ(mem.chunk_generation(0), 0u);
+  EXPECT_EQ(mem.chunk_generation(1), 1u);
+  EXPECT_EQ(mem.chunk_generation(2), 0u);
+  EXPECT_EQ(mem.chunk_generation(3), 0u);
+  // Range queries see the max over the overlapped chunks.
+  EXPECT_EQ(mem.generation(0, 256), 0u);
+  EXPECT_EQ(mem.generation(256, 256), 1u);
+  EXPECT_EQ(mem.generation(300, 1), 1u);
+  EXPECT_EQ(mem.generation(0, 1024), 1u);
+}
+
+TEST(Memory, WriteSpanningChunkBoundaryBumpsBothChunks) {
+  Memory mem(1024);
+  // 4 bytes at 254..257 straddle the chunk 0 / chunk 1 boundary.
+  mem.write(sim::Time::zero(), 254, bytes({1, 2, 3, 4}));
+  EXPECT_EQ(mem.write_generation(), 1u);
+  EXPECT_EQ(mem.chunk_generation(0), 1u);
+  EXPECT_EQ(mem.chunk_generation(1), 1u);
+  EXPECT_EQ(mem.chunk_generation(2), 0u);
+}
+
+TEST(Memory, GenerationIsMonotonicAndRangeTakesTheMax) {
+  Memory mem(1024);
+  mem.poke(0, bytes({1}));                      // gen 1, chunk 0
+  mem.write(sim::Time::zero(), 900, bytes({2}));  // gen 2, chunk 3
+  mem.poke(10, bytes({3}));                     // gen 3, chunk 0 again
+  EXPECT_EQ(mem.write_generation(), 3u);
+  EXPECT_EQ(mem.chunk_generation(0), 3u);
+  EXPECT_EQ(mem.chunk_generation(3), 2u);
+  EXPECT_EQ(mem.generation(0, 256), 3u);
+  EXPECT_EQ(mem.generation(768, 256), 2u);
+  EXPECT_EQ(mem.generation(256, 512), 0u);  // untouched middle
+  EXPECT_EQ(mem.generation(0, 1024), 3u);
+}
+
+TEST(Memory, RangeGenerationCoversLargeSpansWithSuperchunks) {
+  // > 64 chunks so the superchunk-skipping walk actually runs; a single
+  // dirty chunk deep inside must still surface through the range max.
+  constexpr std::size_t kSize = 200 * Memory::kChunkBytes;
+  Memory mem(kSize);
+  mem.poke(130 * Memory::kChunkBytes + 7, bytes({0xEE}));
+  EXPECT_EQ(mem.generation(0, kSize), 1u);
+  EXPECT_EQ(mem.generation(0, 130 * Memory::kChunkBytes), 0u);
+  EXPECT_EQ(mem.generation(130 * Memory::kChunkBytes, Memory::kChunkBytes),
+            1u);
+  EXPECT_EQ(mem.generation(131 * Memory::kChunkBytes, 60 * Memory::kChunkBytes),
+            0u);
+}
+
+namespace {
+// Flips one bit of one byte in the first scan view it sees; inert after.
+class FlipOneByteHooks : public FaultHooks {
+ public:
+  explicit FlipOneByteHooks(std::size_t pos) : pos_(pos) {}
+  TimerFaultDecision on_program_secure(CoreId, sim::Time) override {
+    return {};
+  }
+  bool drop_secure_irq(CoreId, IrqId) override { return false; }
+  bool fail_secure_entry(CoreId) override { return false; }
+  void corrupt_scan_view(sim::Time, std::size_t offset,
+                         std::vector<std::uint8_t>& view) override {
+    if (armed_ && pos_ >= offset && pos_ - offset < view.size()) {
+      view[pos_ - offset] ^= 0x01;
+      armed_ = false;
+    }
+  }
+
+ private:
+  std::size_t pos_;
+  bool armed_ = true;
+};
+}  // namespace
+
+TEST(Memory, FaultFlippedScanViewBumpsTheGlitchedChunkOnly) {
+  Memory mem(1024);
+  FlipOneByteHooks hooks(600);  // chunk 2
+  mem.set_fault_hooks(&hooks);
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 1024, 1000.0);
+  // The glitch dirtied chunk 2's generation even though physical memory
+  // is untouched — the digest cache must not serve a stale "clean" digest
+  // for a window a glitch corrupted.
+  EXPECT_EQ(mem.write_generation(), 1u);
+  EXPECT_EQ(mem.chunk_generation(0), 0u);
+  EXPECT_EQ(mem.chunk_generation(1), 0u);
+  EXPECT_EQ(mem.chunk_generation(2), 1u);
+  EXPECT_EQ(mem.chunk_generation(3), 0u);
+  const auto view = mem.finish_scan(token);
+  EXPECT_TRUE(view.owned());  // glitches land on a private view
+  EXPECT_EQ(view[600], 0x01);
+  EXPECT_EQ(mem.read(600), 0x00);  // backing bytes intact
+}
+
+TEST(Memory, UnchangedScanViewUnderHooksBumpsNothing) {
+  Memory mem(1024);
+  FlipOneByteHooks hooks(600);
+  mem.set_fault_hooks(&hooks);
+  // First scan consumes the one armed flip; the second runs with hooks
+  // installed but no corruption and must leave the generations alone.
+  mem.cancel_scan(mem.begin_scan(sim::Time::zero(), 0, 1024, 1000.0));
+  const std::uint64_t gen = mem.write_generation();
+  auto token = mem.begin_scan(sim::Time::zero(), 0, 1024, 1000.0);
+  EXPECT_EQ(mem.write_generation(), gen);
+  (void)mem.finish_scan(token);
 }
 
 TEST(Memory, FractionalPerByteSpeed) {
