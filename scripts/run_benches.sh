@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Runs the reproduction benches and collects machine-readable timings into
-# BENCH_pr4.json: per-bench wall-clock, the BENCHJSON self-reports the
+# BENCH_pr5.json: per-bench wall-clock, the BENCHJSON self-reports the
 # parallel benches print on stderr (trials, jobs, trials/sec), the digest
-# cache counters from each bench's metrics snapshot, and a cache-on vs
-# cache-off comparison of the hash-dominated clean-rounds workload. Run
-# from anywhere; builds are NOT triggered here — point BUILD_DIR at an
-# existing build (default <repo>/build).
+# cache counters and engine memory-model gauges from each bench's metrics
+# snapshot, the bench_micro event-churn allocation audit (steady state
+# must be 0 allocs/event), and a cache-on vs cache-off comparison of the
+# hash-dominated clean-rounds workload. Run from anywhere; builds are NOT
+# triggered here — point BUILD_DIR at an existing build (default
+# <repo>/build).
 #
 #   scripts/run_benches.sh                 # all benches, --jobs=$(nproc)
 #   JOBS=1 scripts/run_benches.sh          # serial baseline
+#   scripts/run_benches.sh --local         # write untracked BENCH_local.json
 #   OUT=/tmp/b.json scripts/run_benches.sh # custom output path
 #   scripts/run_benches.sh bench_race_analysis   # subset
 set -euo pipefail
@@ -16,9 +19,13 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$repo/build}"
 jobs="${JOBS:-$(nproc)}"
-out="${OUT:-$repo/BENCH_pr4.json}"
-baseline="${BASELINE:-$repo/BENCH_pr3.json}"
+out="${OUT:-$repo/BENCH_pr5.json}"
+baseline="${BASELINE:-$repo/BENCH_pr4.json}"
 clean_rounds="${CLEAN_ROUNDS:-1900}"
+if [ "${1:-}" = "--local" ]; then
+  out="${OUT:-$repo/BENCH_local.json}"
+  shift
+fi
 
 # Benches/examples that accept --jobs (fanned over sim::TrialRunner),
 # then the serial ones — everything still gets wall-clock timed.
@@ -78,6 +85,24 @@ print(json.dumps({k: int(counters.get(f"digest_cache.{k}", 0)) for k in keys}))
 PY
 }
 
+# engine.* memory-model gauges (pool occupancy, inline-vs-fallback
+# callbacks, wheel-vs-heap admission) from a metrics snapshot; null when
+# the snapshot carries none.
+engine_counters() {
+  python3 - "$1" <<'PY'
+import json, sys
+try:
+    gauges = json.load(open(sys.argv[1])).get("gauges", {})
+except Exception:
+    print("null"); raise SystemExit
+keys = ("pool_high_water", "pool_slab_grows", "pool_reuses",
+        "cb_inline", "cb_fallback", "wheel_events", "heap_events")
+if not any(f"engine.{k}" in gauges for k in keys):
+    print("null"); raise SystemExit
+print(json.dumps({k: gauges.get(f"engine.{k}", 0) for k in keys}))
+PY
+}
+
 rows=""
 for b in "${benches[@]}"; do
   exe="$build/$b"
@@ -99,11 +124,44 @@ for b in "${benches[@]}"; do
   self="$(grep -o 'BENCHJSON {.*}' "$tmp_err" | tail -1 | sed 's/^BENCHJSON //' || true)"
   [ -n "$self" ] || self="null"
   cache="$(cache_counters "$tmp_metrics")"
-  row="$(printf '{"bench":"%s","wall_s":%s,"jobs":%s,"self":%s,"digest_cache":%s}' \
-         "$name" "$wall" "$jobs" "$self" "$cache")"
+  engine="$(engine_counters "$tmp_metrics")"
+  row="$(printf '{"bench":"%s","wall_s":%s,"jobs":%s,"self":%s,"digest_cache":%s,"engine":%s}' \
+         "$name" "$wall" "$jobs" "$self" "$cache" "$engine")"
   rows="${rows:+$rows,}$row"
   echo "   ${wall}s" >&2
 done
+
+# Event-churn allocation audit: the engine's zero-allocation contract,
+# measured end to end. Every BM_EventChurn* bench must report exactly 0
+# allocs_per_event or the script (and the CI gate that reruns this) fails.
+churn="null"
+micro="$build/bench/bench_micro"
+if [ -x "$micro" ] && [ "$#" -eq 0 ]; then
+  echo "== bench_micro event-churn allocation audit" >&2
+  churn_json="$(mktemp)"
+  "$micro" --benchmark_filter='BM_EventChurn' \
+    --benchmark_format=json >"$churn_json" 2>"$tmp_err"
+  churn="$(python3 - "$churn_json" <<'PY'
+import json, sys
+rows = []
+bad = []
+for b in json.load(open(sys.argv[1])).get("benchmarks", []):
+    alloc = b.get("allocs_per_event")
+    if alloc is None:
+        continue
+    rows.append({"bench": b["name"], "allocs_per_event": alloc,
+                 "time_ns": b.get("real_time")})
+    if alloc != 0:
+        bad.append(b["name"])
+if bad:
+    print(f"ERROR: nonzero allocs_per_event in {bad}", file=sys.stderr)
+    raise SystemExit(1)
+print(json.dumps(rows))
+PY
+)"
+  rm -f "$churn_json"
+  echo "   all BM_EventChurn benches at 0 allocs/event" >&2
+fi
 
 # Cache on-vs-off on the hash-dominated clean-rounds workload: same
 # simulation twice, stdout must be byte-identical, wall time must not be.
@@ -138,9 +196,24 @@ if [ -x "$detect" ] && { [ "$#" -eq 0 ] || [[ " $* " == *" bench_satin_detection
   rm -f "$on_out" "$off_out"
 fi
 
-printf '{"schema":"satin-bench-pr4/1","nproc":%s,"jobs":%s,"clean_rounds_cache_comparison":%s,"benches":[%s]}\n' \
-  "$(nproc)" "$jobs" "$cache_cmp" "$rows" >"$out"
+# Engine speedup on the headline detection bench vs the committed
+# baseline record (the PR-5 acceptance figure).
+detect_speedup="null"
+if [ -f "$baseline" ]; then
+  detect_speedup="$(python3 - "$baseline" <<PY
+import json
+old = {b["bench"]: b["wall_s"] for b in json.load(open("$baseline")).get("benches", [])}
+new = {r.get("bench"): r.get("wall_s") for r in json.loads('[$rows]')}
+o, n = old.get("bench_satin_detection"), new.get("bench_satin_detection")
+print(round(o / n, 3) if o and n else "null")
+PY
+)"
+fi
+
+printf '{"schema":"satin-bench-pr5/1","nproc":%s,"jobs":%s,"detection_speedup_vs_pr4":%s,"event_churn_allocs":%s,"clean_rounds_cache_comparison":%s,"benches":[%s]}\n' \
+  "$(nproc)" "$jobs" "$detect_speedup" "$churn" "$cache_cmp" "$rows" >"$out"
 echo "wrote $out" >&2
+[ "$detect_speedup" = "null" ] || echo "bench_satin_detection speedup vs pr4: ${detect_speedup}x" >&2
 
 # Host-time delta table against the previous PR's record, when present.
 if [ -f "$baseline" ]; then
@@ -153,7 +226,7 @@ def rows(path):
 
 old, new = rows(sys.argv[1]), rows(sys.argv[2])
 print(f"\nhost-time delta vs {sys.argv[1]}:")
-print(f"{'bench':<32} {'pr3 (s)':>10} {'pr4 (s)':>10} {'delta':>8}")
+print(f"{'bench':<32} {'pr4 (s)':>10} {'pr5 (s)':>10} {'delta':>8}")
 for name in sorted(set(old) | set(new)):
     o, n = old.get(name), new.get(name)
     if o is None or n is None:

@@ -24,6 +24,24 @@ void snapshot_engine_metrics(const sim::Engine& engine,
       .set(popped > 0.0
                ? static_cast<double>(engine.cancelled_popped()) / popped
                : 0.0);
+  // Memory-model gauges (PR 5). All deterministic for a fixed event
+  // sequence — schedule order fixes pool recycling, callback storage and
+  // wheel/heap admission — so, unlike the wall gauges below, they are
+  // safe to snapshot inside parallel trials at any --jobs.
+  registry.gauge("engine.pool_high_water")
+      .set(static_cast<double>(engine.pool_high_water()));
+  registry.gauge("engine.pool_slab_grows")
+      .set(static_cast<double>(engine.pool_slab_grows()));
+  registry.gauge("engine.pool_reuses")
+      .set(static_cast<double>(engine.pool_reuses()));
+  registry.gauge("engine.cb_inline")
+      .set(static_cast<double>(engine.callbacks_inline()));
+  registry.gauge("engine.cb_fallback")
+      .set(static_cast<double>(engine.callback_fallbacks()));
+  registry.gauge("engine.wheel_events")
+      .set(static_cast<double>(engine.wheel_scheduled()));
+  registry.gauge("engine.heap_events")
+      .set(static_cast<double>(engine.heap_scheduled()));
   if (!include_wall) return;
   registry.gauge("engine.wall_seconds").set(engine.wall_seconds());
   const double sim_s = engine.now().sec();

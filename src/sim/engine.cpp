@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <functional>
@@ -37,45 +38,49 @@ class WallTimer {
 }  // namespace
 
 bool EventHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+  return pool_ != nullptr && pool_->matches(index_, generation_) &&
+         !pool_->state(index_).cancelled;
 }
 
 void EventHandle::cancel() {
-  if (!state_ || state_->cancelled || state_->fired) return;
-  state_->cancelled = true;
-  if (state_->cancelled_in_heap != nullptr) ++*state_->cancelled_in_heap;
+  if (pool_ != nullptr) pool_->cancel(index_, generation_);
 }
 
 Time EventHandle::when() const {
-  return state_ ? state_->when : Time::zero();
+  return pool_ != nullptr && pool_->matches(index_, generation_)
+             ? pool_->state(index_).when
+             : Time::zero();
 }
 
 Engine::Engine() { set_log_clock(&engine_log_clock, this); }
 
 Engine::~Engine() {
   if (log_clock_ctx() == this) set_log_clock(nullptr, nullptr);
-  // Handles can outlive the engine; cut their back-references so a late
-  // cancel() never writes through a dangling tally pointer.
-  for (QueueEntry& entry : heap_) entry.state->cancelled_in_heap = nullptr;
-}
-
-void Engine::release_entry(const QueueEntry& entry) {
-  entry.state->cancelled_in_heap = nullptr;
-  if (entry.state->cancelled) --cancelled_in_heap_;
+  // Release every still-queued state so callback captures die with the
+  // engine. Handles that outlive the engine go stale via the generation
+  // bump and keep only the pool's bookkeeping alive through their shared
+  // pointer — a late cancel()/pending() no-ops instead of dangling.
+  for (const QueueEntry& e : heap_) pool_->release(e.index);
+  for (const QueueEntry& e : drain_) pool_->release(e.index);
+  for (std::vector<QueueEntry>& bucket : wheel_) {
+    for (const QueueEntry& e : bucket) pool_->release(e.index);
+  }
 }
 
 void Engine::compact() {
-  std::vector<QueueEntry> live;
-  live.reserve(heap_.size() - cancelled_in_heap_);
-  for (QueueEntry& entry : heap_) {
-    if (entry.state->cancelled) {
-      release_entry(entry);
+  // Sweep into the retained scratch buffer (capacity survives the swap
+  // round-trip, so steady-state sweeps never allocate).
+  compact_scratch_.clear();
+  compact_scratch_.reserve(heap_.size());
+  for (const QueueEntry& e : heap_) {
+    if (pool_->state(e.index).cancelled) {
+      pool_->release(e.index);
       ++cancelled_popped_;
     } else {
-      live.push_back(std::move(entry));
+      compact_scratch_.push_back(e);
     }
   }
-  heap_ = std::move(live);
+  heap_.swap(compact_scratch_);
   std::make_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
   ++compactions_;
 }
@@ -84,49 +89,158 @@ EventHandle Engine::schedule_at(Time when, Callback cb) {
   if (when < now_) {
     throw std::logic_error("Engine::schedule_at: time in the past");
   }
-  auto state = std::make_shared<EventHandle::State>();
-  state->callback = std::move(cb);
-  state->when = when;
-  state->cancelled_in_heap = &cancelled_in_heap_;
-  heap_.push_back(QueueEntry{when, next_seq_++, state});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
-  if (heap_.size() > queue_high_water_) queue_high_water_ = heap_.size();
-  // Lazy compaction: once dead entries outnumber live ones (and the heap
-  // is big enough for the sweep to matter), sweep them out in one O(n)
-  // pass instead of dragging them through every sift.
-  if (cancelled_in_heap_ > heap_.size() / 2 && heap_.size() >= 64) {
+  // Opportunistic cursor resync: with no bucketed entries the wheel window
+  // can slide up to the clock for free, so near-future events keep landing
+  // in buckets even after a long quiet jump (run_until over idle time).
+  if (wheel_count_ == 0) {
+    const std::uint64_t now_bucket = bucket_of(now_);
+    if (now_bucket > cursor_) cursor_ = now_bucket;
+  }
+  const std::uint32_t index = pool_->allocate();
+  EventPool::State& s = pool_->state(index);
+  s.callback = std::move(cb);
+  s.when = when;
+  if (s.callback.heap_allocated()) {
+    ++cb_fallback_;
+  } else {
+    ++cb_inline_;
+  }
+  const QueueEntry entry{when, next_seq_++, index};
+  const std::uint64_t b = bucket_of(when);
+  if (b < cursor_) {
+    // The bucket was already loaded (a callback scheduling into the
+    // currently-draining time range): join the drain heap directly.
+    s.location = EventLocation::kDrain;
+    drain_.push_back(entry);
+    std::push_heap(drain_.begin(), drain_.end(), std::greater<QueueEntry>());
+    ++wheel_scheduled_;
+  } else if (b - cursor_ < kWheelBuckets) {
+    s.location = EventLocation::kWheel;
+    // Tighten a valid memo; a stale one stays stale (an arbitrary earlier
+    // bucket may exist, only a rescan can tell).
+    if (next_bucket_cache_ != kNoBucket && b < next_bucket_cache_) {
+      next_bucket_cache_ = b;
+    }
+    wheel_[b & kWheelMask].push_back(entry);
+    bitmap_set(b);
+    ++wheel_count_;
+    ++wheel_scheduled_;
+  } else {
+    s.location = EventLocation::kHeap;
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
+    ++heap_scheduled_;
+  }
+  // Lazy compaction: once dead entries outnumber live ones in the
+  // far-future heap (and it is big enough for the sweep to matter), sweep
+  // them out in one O(n) pass instead of dragging them through every
+  // sift. Wheel entries are never compacted — their lifetime is bounded
+  // by the ~68 ms horizon, so they drain out on their own.
+  if (pool_->cancelled_in_heap() > heap_.size() / 2 && heap_.size() >= 64) {
     compact();
   }
-  return EventHandle(state);
+  const std::size_t queued = heap_.size() + drain_.size() + wheel_count_;
+  if (queued > queue_high_water_) queue_high_water_ = queued;
+  return EventHandle(pool_, index, s.generation);
+}
+
+std::uint64_t Engine::next_nonempty_bucket() const {
+  if (next_bucket_cache_ != kNoBucket) return next_bucket_cache_;
+  const std::uint64_t start = cursor_ & kWheelMask;
+  std::uint64_t scanned = 0;
+  while (scanned < kWheelBuckets) {
+    const std::uint64_t slot = (start + scanned) & kWheelMask;
+    const std::uint64_t word = bitmap_[slot >> 6] >> (slot & 63);
+    if (word != 0) {
+      const std::uint64_t d =
+          scanned + static_cast<std::uint64_t>(std::countr_zero(word));
+      if (d >= kWheelBuckets) break;
+      next_bucket_cache_ = cursor_ + d;
+      return next_bucket_cache_;
+    }
+    scanned += 64 - (slot & 63);
+  }
+  assert(wheel_count_ == 0);
+  return cursor_;
+}
+
+void Engine::load_bucket(std::uint64_t abs) {
+  std::vector<QueueEntry>& bucket = wheel_[abs & kWheelMask];
+  for (const QueueEntry& e : bucket) {
+    pool_->state(e.index).location = EventLocation::kDrain;
+    drain_.push_back(e);
+    std::push_heap(drain_.begin(), drain_.end(), std::greater<QueueEntry>());
+  }
+  wheel_count_ -= bucket.size();
+  bucket.clear();
+  bitmap_clear(abs);
+  cursor_ = abs + 1;
+  next_bucket_cache_ = kNoBucket;  // recomputed lazily on the next probe
+}
+
+void Engine::settle_tops(Time limit) {
+  for (;;) {
+    // Skip cancelled entries off both tops; releasing them recycles the
+    // pool slot immediately.
+    while (!drain_.empty() && pool_->state(drain_.front().index).cancelled) {
+      std::pop_heap(drain_.begin(), drain_.end(), std::greater<QueueEntry>());
+      pool_->release(drain_.back().index);
+      drain_.pop_back();
+      ++cancelled_popped_;
+    }
+    while (!heap_.empty() && pool_->state(heap_.front().index).cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
+      pool_->release(heap_.back().index);
+      heap_.pop_back();
+      ++cancelled_popped_;
+    }
+    if (wheel_count_ == 0) return;
+    // Load the earliest bucket while it could still contain the next
+    // event: its start must not exceed the run limit nor either live top.
+    // (<=, not <: a bucket can hold an entry at exactly the top's
+    // timestamp whose sequence number decides the order.)
+    Time best = limit;
+    if (!drain_.empty() && drain_.front().when < best) {
+      best = drain_.front().when;
+    }
+    if (!heap_.empty() && heap_.front().when < best) best = heap_.front().when;
+    const std::uint64_t b = next_nonempty_bucket();
+    if (Time::from_ps(static_cast<std::int64_t>(b) << kBucketShift) > best) {
+      return;
+    }
+    load_bucket(b);
+  }
 }
 
 bool Engine::fire_next(Time limit) {
-  while (!heap_.empty()) {
-    const QueueEntry& top = heap_.front();
-    if (top.when > limit) return false;
-    auto state = top.state;
-    const Time when = top.when;
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
-    release_entry(heap_.back());
-    heap_.pop_back();
-    if (state->cancelled) {
-      ++cancelled_popped_;
-      continue;
-    }
-    now_ = when;
-    state->fired = true;
-    ++fired_;
-    // Move the callback out so an event that reschedules "itself" through a
-    // captured handle cannot observe a half-dead state.
-    Callback cb = std::move(state->callback);
-    SATIN_TRACE_BEGIN("engine", "dispatch", now_, obs::kGlobalTrack,
-                      obs::kWorldNone);
-    cb();
-    SATIN_TRACE_END("engine", "dispatch", now_, obs::kGlobalTrack,
+  settle_tops(limit);
+  const bool have_drain = !drain_.empty();
+  const bool have_heap = !heap_.empty();
+  if (!have_drain && !have_heap) return false;
+  // Full (when, seq) comparison across the wheel/heap boundary keeps
+  // equal-timestamp FIFO order identical to the single-heap engine.
+  const bool from_heap =
+      have_heap && (!have_drain || drain_.front() > heap_.front());
+  std::vector<QueueEntry>& src = from_heap ? heap_ : drain_;
+  const QueueEntry top = src.front();
+  if (top.when > limit) return false;
+  std::pop_heap(src.begin(), src.end(), std::greater<QueueEntry>());
+  src.pop_back();
+  EventPool::State& s = pool_->state(top.index);
+  // Move the callback out and release the slot before invoking: an event
+  // that cancels or reschedules "itself" through a captured handle sees a
+  // stale generation instead of a half-dead state, and the slot is free
+  // for immediate reuse by whatever the callback schedules.
+  Callback cb = std::move(s.callback);
+  now_ = top.when;
+  pool_->release(top.index);
+  ++fired_;
+  SATIN_TRACE_BEGIN("engine", "dispatch", now_, obs::kGlobalTrack,
                     obs::kWorldNone);
-    return true;
-  }
-  return false;
+  cb();
+  SATIN_TRACE_END("engine", "dispatch", now_, obs::kGlobalTrack,
+                  obs::kWorldNone);
+  return true;
 }
 
 bool Engine::step() {
@@ -152,13 +266,6 @@ std::size_t Engine::run_all() {
   std::size_t n = 0;
   while (!stop_requested_ && fire_next(Time::max())) ++n;
   return n;
-}
-
-std::size_t Engine::pending_count() const {
-  // The heap holds only unfired entries and the cancelled tally is kept
-  // exact by cancel()/release_entry(), so live = size - cancelled. O(1),
-  // where the old std::priority_queue accessor copied the whole container.
-  return heap_.size() - cancelled_in_heap_;
 }
 
 }  // namespace satin::sim

@@ -4,23 +4,39 @@
 // ticks, introspection scans, prober wake-ups are all events. Events at
 // equal timestamps fire in scheduling order (a monotone sequence number
 // breaks ties), which keeps runs deterministic for a fixed seed.
+//
+// Memory model (PR 5): the steady-state event path performs zero heap
+// allocations. Event states live in a slab pool (sim/event_pool.h) and
+// handles are {index, generation} pairs — a stale handle held after its
+// slot was recycled compares unequal and no-ops. Callbacks are stored
+// inline in the state (sim/inline_callback.h), and the queue is a
+// two-level structure: a timer wheel of 1024 × ~67 µs buckets absorbs
+// dense near-future traffic (scheduler ticks, probes, scan steps) with an
+// O(1) bucket append, overflowing to the binary heap only for events more
+// than ~68 ms out. Ordering is unchanged from the single-heap engine:
+// every pop compares full (when, seq), so stdout/--trace=/--metrics=
+// stay byte-identical at any --jobs=J.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/event_pool.h"
+#include "sim/inline_callback.h"
 #include "sim/time.h"
 
 namespace satin::sim {
 
-using Callback = std::function<void()>;
+using Callback = InlineCallback;
 
 // Handle to a scheduled event; allows cancellation (used when the secure
 // world freezes a core's normal-world events, when timers are reprogrammed,
-// and when sleeping threads are woken early).
+// and when sleeping threads are woken early). Copyable; copies share the
+// engine's slab pool (one shared_ptr copy, never an allocation). Once the
+// event fires or its slot is recycled the handle goes stale: pending()
+// is false, cancel() is a no-op, when() reads as zero.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -29,23 +45,18 @@ class EventHandle {
   bool pending() const;
   // Cancels the event if still pending; no-op otherwise.
   void cancel();
-  // The time the event was scheduled to fire at.
+  // The time the event is scheduled to fire at; zero once the handle has
+  // gone stale (event fired, or its slot was recycled).
   Time when() const;
 
  private:
   friend class Engine;
-  struct State {
-    Callback callback;
-    Time when;
-    bool cancelled = false;
-    bool fired = false;
-    // Engine's tally of cancelled-but-still-queued entries; non-null only
-    // while the entry sits in the heap. Lets pending_count() be O(1) and
-    // triggers lazy compaction without scanning.
-    std::size_t* cancelled_in_heap = nullptr;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(std::shared_ptr<EventPool> pool, std::uint32_t index,
+              std::uint32_t generation)
+      : pool_(std::move(pool)), index_(index), generation_(generation) {}
+  std::shared_ptr<EventPool> pool_;
+  std::uint32_t index_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Engine {
@@ -61,7 +72,7 @@ class Engine {
 
   EventHandle schedule_at(Time when, Callback cb);
   EventHandle schedule_after(Duration delay, Callback cb) {
-    return schedule_at(now_ + delay, cb);
+    return schedule_at(now_ + delay, std::move(cb));
   }
 
   // Runs the single next event, if any. Returns false when the queue is
@@ -85,7 +96,7 @@ class Engine {
   void request_stop() { stop_requested_ = true; }
   bool stop_requested() const { return stop_requested_; }
 
-  std::size_t pending_count() const;
+  std::size_t pending_count() const { return pool_->pending(); }
   std::uint64_t events_fired() const { return fired_; }
 
   // --- Engine self-metrics (see obs/session.h) ---------------------------
@@ -94,32 +105,76 @@ class Engine {
   // Cancelled entries removed without firing — popped and skipped, or
   // swept out by lazy compaction.
   std::uint64_t cancelled_popped() const { return cancelled_popped_; }
-  // Cancelled entries currently sitting in the heap (diagnostics).
-  std::size_t cancelled_pending() const { return cancelled_in_heap_; }
+  // Cancelled entries currently sitting in the queues (diagnostics).
+  std::size_t cancelled_pending() const { return pool_->cancelled_live(); }
   // Lazy compaction sweeps performed (diagnostics/tests).
   std::uint64_t compactions() const { return compactions_; }
   // Host wall-clock seconds spent inside run_until/run_all; with now() it
   // yields wall-time per simulated second.
   double wall_seconds() const { return wall_seconds_; }
 
+  // --- Memory-model self-metrics (all deterministic for a fixed event
+  // sequence, so they are safe to merge across --jobs workers) -----------
+  // Deepest simultaneous slab-pool occupancy.
+  std::size_t pool_high_water() const { return pool_->occupancy_high_water(); }
+  // Slabs the pool allocated (1 == zero steady-state growth after warmup).
+  std::uint64_t pool_slab_grows() const { return pool_->slab_grows(); }
+  // Allocations served by recycling a previously released state.
+  std::uint64_t pool_reuses() const { return pool_->reuses(); }
+  // Scheduled callbacks stored inline vs spilled to a heap fallback.
+  std::uint64_t callbacks_inline() const { return cb_inline_; }
+  std::uint64_t callback_fallbacks() const { return cb_fallback_; }
+  // Events admitted to the near-future wheel vs the far-future heap.
+  std::uint64_t wheel_scheduled() const { return wheel_scheduled_; }
+  std::uint64_t heap_scheduled() const { return heap_scheduled_; }
+
+  // Timer-wheel geometry: 1024 buckets of 2^26 ps (~67.1 µs) give a
+  // ~68.7 ms horizon — comfortably past the 4 ms / 250 Hz scheduler tick,
+  // timer reprogramming and probe cadences that dominate event traffic,
+  // while second-scale watchdogs and introspection periods overflow to
+  // the heap. Both are powers of two so bucket mapping is shift + mask.
+  // Public so tests and benches can phrase traffic in bucket units.
+  static constexpr int kBucketShift = 26;
+  static constexpr std::size_t kWheelBuckets = 1024;
+
  private:
   struct QueueEntry {
     Time when;
     std::uint64_t seq;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t index;  // slab-pool slot owning the callback/state
     bool operator>(const QueueEntry& o) const {
       if (when != o.when) return when > o.when;
       return seq > o.seq;
     }
   };
 
+  static constexpr std::uint64_t kWheelMask = kWheelBuckets - 1;
+  // Sentinel for "earliest non-empty bucket unknown, rescan the bitmap".
+  static constexpr std::uint64_t kNoBucket = ~0ull;
+
+  static std::uint64_t bucket_of(Time t) {
+    return static_cast<std::uint64_t>(t.ps()) >> kBucketShift;
+  }
+
   bool fire_next(Time limit);
-  // Removes a popped/compacted entry's back-reference and keeps the
-  // cancelled tally exact.
-  void release_entry(const QueueEntry& entry);
-  // Sweeps cancelled entries out and re-heapifies; called when they
-  // outnumber the live ones (amortized O(1) per scheduled event).
+  // Pops cancelled entries off the drain/heap tops and loads every wheel
+  // bucket that could contain the next event, until both tops are live
+  // and provably minimal.
+  void settle_tops(Time limit);
+  // Moves bucket `abs` into the drain heap and advances the cursor.
+  void load_bucket(std::uint64_t abs);
+  // Earliest non-empty absolute bucket (valid only when wheel_count_ > 0).
+  std::uint64_t next_nonempty_bucket() const;
+  // Sweeps cancelled entries out of the far heap and re-heapifies; called
+  // when they outnumber the live ones (amortized O(1) per event).
   void compact();
+
+  void bitmap_set(std::uint64_t abs) {
+    bitmap_[(abs & kWheelMask) >> 6] |= 1ull << (abs & 63);
+  }
+  void bitmap_clear(std::uint64_t abs) {
+    bitmap_[(abs & kWheelMask) >> 6] &= ~(1ull << (abs & 63));
+  }
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
@@ -129,13 +184,36 @@ class Engine {
   std::size_t queue_high_water_ = 0;
   double wall_seconds_ = 0.0;
   bool stop_requested_ = false;
-  // Inspectable min-heap (std::push_heap/pop_heap over a vector, ordered
-  // by operator> like the old std::priority_queue/std::greater pair).
-  // Owning the container directly makes pending_count() O(1) — the old
-  // accessor copied the whole priority_queue to count live entries — and
-  // enables lazy compaction of cancelled entries.
+
+  std::uint64_t cb_inline_ = 0;
+  std::uint64_t cb_fallback_ = 0;
+  std::uint64_t wheel_scheduled_ = 0;
+  std::uint64_t heap_scheduled_ = 0;
+
+  // Shared with every handle so a handle outliving the engine still finds
+  // live pool state to (no-)op against.
+  std::shared_ptr<EventPool> pool_ = std::make_shared<EventPool>();
+
+  // Far-future min-heap (std::push_heap/pop_heap over a vector ordered by
+  // operator>), plus a retained scratch buffer so compaction sweeps do
+  // not allocate in steady state.
   std::vector<QueueEntry> heap_;
-  std::size_t cancelled_in_heap_ = 0;
+  std::vector<QueueEntry> compact_scratch_;
+
+  // Near-future wheel: buckets[abs & mask] holds the unsorted entries of
+  // absolute bucket `abs`, for abs in [cursor_, cursor_ + kWheelBuckets).
+  // Buckets below cursor_ have been loaded into drain_, a (when, seq)
+  // min-heap that also absorbs late arrivals for already-loaded buckets.
+  // Bucket vectors and drain_ retain capacity, so the steady state runs
+  // allocation-free.
+  std::vector<std::vector<QueueEntry>> wheel_{kWheelBuckets};
+  std::vector<QueueEntry> drain_;
+  std::uint64_t bitmap_[kWheelBuckets / 64] = {};
+  std::uint64_t cursor_ = 0;    // absolute bucket index
+  std::size_t wheel_count_ = 0; // entries in buckets (excluding drain_)
+  // Memoized next_nonempty_bucket() result so the bitmap scan runs once
+  // per bucket load, not once per fired event; kNoBucket = stale.
+  mutable std::uint64_t next_bucket_cache_ = kNoBucket;
 };
 
 }  // namespace satin::sim

@@ -1,0 +1,142 @@
+// Small-buffer type-erased callback for the event engine.
+//
+// std::function<void()> heap-allocates whenever the capture outgrows its
+// (implementation-defined, ~16-byte) internal buffer — which is every
+// scheduling call site in this tree that captures more than two pointers.
+// InlineCallback fixes the buffer at kCapacity bytes, sized to the largest
+// capture in the repo (secure::Introspector's scan-completion lambda:
+// this + core + token + offset/length + start + per-byte cost + a
+// std::function done-callback, ~88 bytes), so every event the simulator
+// schedules stores its callback inline in the slab-pooled event state and
+// the steady-state event path performs zero heap allocations.
+//
+// Callables larger than kCapacity (or over-aligned, or with throwing
+// moves) still work: they fall back to a single heap allocation, and the
+// fallback is counted process-wide (inline_callback_fallbacks()) and
+// per-engine (Engine::callback_fallbacks()) so a capture that silently
+// outgrows the buffer shows up in metrics and the zero-alloc CI gate
+// instead of quietly re-introducing allocator traffic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace satin::sim {
+
+// Process-wide tally of InlineCallback constructions that spilled to the
+// heap. Monotonic, aggregated across threads; per-engine determinism-safe
+// counts live on Engine itself (this one exists so the allocation-gate
+// bench can name the culprit when it trips).
+inline std::atomic<std::uint64_t>& inline_callback_fallbacks() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+class InlineCallback {
+ public:
+  // Inline storage: fits every capture in the tree today (largest ~88 B,
+  // see header comment). Growing a capture past this is legal but costs
+  // one heap allocation per scheduled event — watch callback_fallbacks().
+  static constexpr std::size_t kCapacity = 128;
+  static constexpr std::size_t kAlignment = alignof(std::max_align_t);
+
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      *reinterpret_cast<void**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &heap_ops<D>;
+      inline_callback_fallbacks().fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { steal(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // True when the stored callable spilled to the heap (capture larger
+  // than kCapacity, over-aligned, or not nothrow-movable).
+  bool heap_allocated() const noexcept { return ops_ != nullptr && ops_->heap; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kCapacity && alignof(D) <= kAlignment &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst storage from src storage, leaving src destroyed.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+      false,
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* s) { (**reinterpret_cast<D**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+      },
+      [](void* s) noexcept { delete *reinterpret_cast<D**>(s); },
+      true,
+  };
+
+  void steal(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(kAlignment) unsigned char storage_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace satin::sim

@@ -13,19 +13,36 @@ std::uint64_t fnv1a(std::string_view s) {
 }
 }  // namespace
 
+void Mt19937_64::refill() {
+  constexpr std::uint64_t kUpperMask = 0xFFFFFFFF80000000ull;
+  constexpr std::uint64_t kLowerMask = 0x7FFFFFFFull;
+  constexpr std::uint64_t kMatrixA = 0xB5026F5AA96619E9ull;
+  // The standard twist, split into two dependence-free passes plus the
+  // wrap-around word so the vectorizer can run both loops wide. The
+  // branchless (word & 1) * kMatrixA is value-identical to the spec's
+  // conditional xor.
+  for (unsigned k = 0; k < kStateSize - kMid; ++k) {
+    const std::uint64_t y =
+        (state_[k] & kUpperMask) | (state_[k + 1] & kLowerMask);
+    state_[k] = state_[k + kMid] ^ (y >> 1) ^ ((state_[k + 1] & 1) * kMatrixA);
+  }
+  for (unsigned k = kStateSize - kMid; k < kStateSize - 1; ++k) {
+    const std::uint64_t y =
+        (state_[k] & kUpperMask) | (state_[k + 1] & kLowerMask);
+    state_[k] =
+        state_[k - (kStateSize - kMid)] ^ (y >> 1) ^
+        ((state_[k + 1] & 1) * kMatrixA);
+  }
+  const std::uint64_t y =
+      (state_[kStateSize - 1] & kUpperMask) | (state_[0] & kLowerMask);
+  state_[kStateSize - 1] =
+      state_[kMid - 1] ^ (y >> 1) ^ ((state_[0] & 1) * kMatrixA);
+  next_ = 0;
+}
+
 Rng Rng::fork(std::string_view name) {
   const std::uint64_t mixed = fnv1a(name) ^ next_u64();
   return Rng(mixed);
-}
-
-double Rng::truncated_normal(double mean, double stddev, double lo,
-                             double hi) {
-  for (int i = 0; i < 1024; ++i) {
-    const double x = normal(mean, stddev);
-    if (x >= lo && x <= hi) return x;
-  }
-  // Degenerate parameterization; clamp rather than loop forever.
-  return std::clamp(mean, lo, hi);
 }
 
 double Rng::triangular(double lo, double mode, double hi) {

@@ -5,9 +5,25 @@
 // deviations) draws from an Rng. A master seed fans out into independent
 // named substreams so that adding a new consumer never perturbs the draws
 // of existing ones — experiments stay bit-reproducible across code growth.
+//
+// The draw path is implemented in-repo, bit-identical to the libstdc++
+// facilities it replaces (std::mt19937_64 plus the distribution adaptors
+// the original implementation constructed per call). Two reasons:
+//   1. Reproducibility. Recorded outputs — CI's jobs=1-vs-8 and digest
+//      cache on/off byte-identity gates, EXPERIMENTS.md numbers — are
+//      pinned to this exact draw sequence; owning the generator means a
+//      standard-library update can never silently shift it.
+//   2. Speed. Jitter draws dominate the long benches (~672M truncated
+//      normals in one bench_satin_detection run); the inline fast path
+//      drops the per-call distribution-object and generate_canonical
+//      machinery, and the twist loop compiles in one TU where it can be
+//      vectorized.
+// tests/sim/rng_test.cpp locks every method to its std:: reference,
+// draw for draw, so any divergence fails loudly.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <string_view>
@@ -16,6 +32,50 @@
 #include "sim/time.h"
 
 namespace satin::sim {
+
+// Bit-identical reimplementation of std::mt19937_64 ([rand.eng.mers] with
+// the standard's mt19937_64 parameters — the algorithm is fully specified,
+// so the stream is portable across standard libraries by construction).
+class Mt19937_64 {
+ public:
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  static constexpr result_type default_seed = 5489u;
+
+  explicit Mt19937_64(result_type value = default_seed) { seed(value); }
+
+  void seed(result_type value) {
+    state_[0] = value;
+    for (unsigned i = 1; i < kStateSize; ++i) {
+      state_[i] =
+          6364136223846793005ull * (state_[i - 1] ^ (state_[i - 1] >> 62)) + i;
+    }
+    next_ = kStateSize;
+  }
+
+  result_type operator()() {
+    if (next_ >= kStateSize) refill();
+    result_type y = state_[next_++];
+    y ^= (y >> 29) & 0x5555555555555555ull;
+    y ^= (y << 17) & 0x71D67FFFEDA60000ull;
+    y ^= (y << 37) & 0xFFF7EEE000000000ull;
+    y ^= y >> 43;
+    return y;
+  }
+
+ private:
+  static constexpr unsigned kStateSize = 312;
+  static constexpr unsigned kMid = 156;
+
+  // Out of line on purpose: runs once per 312 draws, and rng.cpp compiles
+  // it with the vectorizer on (the twist was the hottest single function
+  // in bench_satin_detection's profile).
+  void refill();
+
+  result_type state_[kStateSize];
+  unsigned next_;
+};
 
 class Rng {
  public:
@@ -27,14 +87,11 @@ class Rng {
 
   std::uint64_t next_u64() { return engine_(); }
 
-  // Uniform real in [0, 1).
-  double uniform() {
-    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-  }
+  // Uniform real in [0, 1). Identical to
+  // std::uniform_real_distribution<double>(0, 1) over this engine.
+  double uniform() { return canonical(); }
   // Uniform real in [lo, hi).
-  double uniform(double lo, double hi) {
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
-  }
+  double uniform(double lo, double hi) { return canonical() * (hi - lo) + lo; }
   // Uniform integer in [lo, hi], inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
     return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
@@ -44,25 +101,43 @@ class Rng {
     return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
   }
 
-  bool bernoulli(double p) {
-    return std::bernoulli_distribution(p)(engine_);
-  }
+  bool bernoulli(double p) { return canonical() < p; }
 
+  // Marsaglia polar method, replicating std::normal_distribution exactly —
+  // including the historical quirk that this method constructed a fresh
+  // distribution per call, so the polar method's cached second variate is
+  // always discarded (keeping it would shift every downstream draw).
   double normal(double mean, double stddev) {
-    return std::normal_distribution<double>(mean, stddev)(engine_);
+    double x, y, r2;
+    do {
+      x = 2.0 * canonical() - 1.0;
+      y = 2.0 * canonical() - 1.0;
+      r2 = x * x + y * y;
+    } while (r2 > 1.0 || r2 == 0.0);
+    const double mult = std::sqrt(-2.0 * std::log(r2) / r2);
+    return y * mult * stddev + mean;
   }
 
   // Normal redrawn until it lands in [lo, hi]. Used for calibrated jitter
-  // whose min/max the paper reports explicitly (Table I).
-  double truncated_normal(double mean, double stddev, double lo, double hi);
+  // whose min/max the paper reports explicitly (Table I). Inline because
+  // it is the hottest call in the tree (every cross-core staleness read).
+  double truncated_normal(double mean, double stddev, double lo, double hi) {
+    for (int i = 0; i < 1024; ++i) {
+      const double x = normal(mean, stddev);
+      if (x >= lo && x <= hi) return x;
+    }
+    // Degenerate parameterization; clamp rather than loop forever.
+    return std::clamp(mean, lo, hi);
+  }
 
   double exponential(double mean) {
-    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    const double lambda = 1.0 / mean;  // divide like the std:: adaptor did
+    return -std::log(1.0 - canonical()) / lambda;
   }
 
   // Log-normal parameterized by the mean/sigma of the underlying normal.
   double lognormal(double mu, double sigma) {
-    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+    return std::exp(sigma * normal(0.0, 1.0) + mu);
   }
 
   double triangular(double lo, double mode, double hi);
@@ -82,10 +157,19 @@ class Rng {
     std::shuffle(first, last, engine_);
   }
 
-  std::mt19937_64& engine() { return engine_; }
+  Mt19937_64& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  // [0, 1) with 53-bit precision: what std::generate_canonical<double, 53>
+  // computes for a full-range 64-bit engine — one draw, rounded to double,
+  // scaled by 2^-64, clamped below 1.0 for the one draw (2^64 - 1) whose
+  // conversion rounds up to 2^64.
+  double canonical() {
+    const double r = static_cast<double>(engine_()) * 0x1p-64;
+    return r < 1.0 ? r : std::nextafter(1.0, 0.0);
+  }
+
+  Mt19937_64 engine_;
 };
 
 }  // namespace satin::sim

@@ -78,6 +78,26 @@ TEST(EngineStress, StormIsDeterministicForAFixedSeed) {
   EXPECT_EQ(a.engine.now(), b.engine.now());
   EXPECT_EQ(a.engine.events_fired(), b.engine.events_fired());
   EXPECT_EQ(a.engine.cancelled_popped(), b.engine.cancelled_popped());
+  // The memory-model counters are part of the determinism contract too:
+  // identical schedules must recycle slots and pick wheel/heap identically.
+  EXPECT_EQ(a.engine.pool_reuses(), b.engine.pool_reuses());
+  EXPECT_EQ(a.engine.pool_high_water(), b.engine.pool_high_water());
+  EXPECT_EQ(a.engine.wheel_scheduled(), b.engine.wheel_scheduled());
+  EXPECT_EQ(a.engine.heap_scheduled(), b.engine.heap_scheduled());
+}
+
+TEST(EngineStress, StormRecyclesSlotsInsteadOfGrowingSlabs) {
+  // 600 spawned events with bounded concurrent occupancy: the pool must
+  // serve the storm from recycled slots, not by growing slab after slab.
+  Storm storm(17);
+  storm.run(20);
+  EXPECT_GT(storm.engine.pool_reuses(), 0u);
+  EXPECT_EQ(storm.engine.pool_slab_grows(), 1u);
+  EXPECT_LE(storm.engine.pool_high_water(), 256u);
+  // Every callback in the storm captures {this, id}: all inline, no heap
+  // fallback.
+  EXPECT_EQ(storm.engine.callback_fallbacks(), 0u);
+  EXPECT_GT(storm.engine.callbacks_inline(), 0u);
 }
 
 TEST(EngineStress, DifferentSeedsDiverge) {

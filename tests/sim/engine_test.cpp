@@ -263,11 +263,13 @@ TEST(Engine, SmallHeapsSkipCompaction) {
 
 TEST(Engine, CancelAfterCompactionIsSafe) {
   // A handle whose entry was swept out must stay inert: cancel() again,
-  // pending(), when() — no crash, no tally corruption.
+  // pending(), when() — no crash, no tally corruption. Times are beyond
+  // the ~68 ms wheel horizon so every doomed entry sits in the far heap,
+  // the structure compaction sweeps.
   Engine engine;
   std::vector<EventHandle> doomed;
   for (int i = 0; i < 128; ++i) {
-    doomed.push_back(engine.schedule_at(Time::from_ms(10 + i), [] {}));
+    doomed.push_back(engine.schedule_at(Time::from_ms(100 + i), [] {}));
   }
   for (EventHandle& h : doomed) h.cancel();
   engine.schedule_at(Time::from_ms(1), [] {});  // triggers the sweep
@@ -277,6 +279,113 @@ TEST(Engine, CancelAfterCompactionIsSafe) {
     h.cancel();  // no-op
   }
   EXPECT_EQ(engine.cancelled_pending(), 0u);
+}
+
+TEST(Engine, StaleHandleAfterRecycleIsInert) {
+  // Once an event fires its slab slot is recycled under a new generation;
+  // the old handle must observe nothing and touch nothing — in particular
+  // it must not cancel the slot's new occupant.
+  Engine engine;
+  bool a_fired = false;
+  EventHandle a = engine.schedule_at(Time::from_us(1), [&] { a_fired = true; });
+  engine.run_all();
+  EXPECT_TRUE(a_fired);
+  bool b_fired = false;
+  EventHandle b = engine.schedule_at(Time::from_us(2), [&] { b_fired = true; });
+  // The LIFO free list hands b the slot a just vacated.
+  EXPECT_EQ(engine.pool_reuses(), 1u);
+  EXPECT_FALSE(a.pending());
+  EXPECT_EQ(a.when(), Time::zero());
+  a.cancel();  // stale generation: must not cancel b
+  EXPECT_TRUE(b.pending());
+  EXPECT_EQ(b.when(), Time::from_us(2));
+  engine.run_all();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Engine, EqualTimestampFifoAcrossWheelHeapBoundary) {
+  // An event scheduled while its timestamp was beyond the wheel horizon
+  // lives in the far heap; a later event at the *same* timestamp scheduled
+  // once the horizon has advanced lives in the wheel. Scheduling order
+  // (sequence number) must still decide who fires first.
+  Engine engine;
+  std::vector<int> order;
+  const Time t = Time::from_ms(100);  // beyond the ~68 ms horizon at time 0
+  engine.schedule_at(t, [&] { order.push_back(0); });  // far heap, seq 0
+  engine.schedule_at(Time::from_ms(50), [&] {
+    // Horizon now covers t: same timestamp, later sequence, wheel side.
+    engine.schedule_at(t, [&] { order.push_back(1); });
+  });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_GE(engine.heap_scheduled(), 1u);
+  EXPECT_GE(engine.wheel_scheduled(), 1u);
+}
+
+TEST(Engine, CallbackSchedulingIntoDrainingBucketKeepsOrder) {
+  // Two events share one ~67 µs wheel bucket; the first schedules a third
+  // between them at fire time, after the bucket has already been loaded
+  // into the drain heap. It must still fire in timestamp order.
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(Time::from_us(10), [&] {
+    order.push_back(0);
+    engine.schedule_at(Time::from_us(20), [&] { order.push_back(1); });
+  });
+  engine.schedule_at(Time::from_us(30), [&] { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, NearFutureTrafficLandsInTheWheel) {
+  Engine engine;
+  engine.schedule_at(Time::from_ms(4), [] {});    // scheduler-tick range
+  engine.schedule_at(Time::from_us(50), [] {});   // probe range
+  engine.schedule_at(Time::from_sec(2), [] {});   // watchdog range
+  EXPECT_EQ(engine.wheel_scheduled(), 2u);
+  EXPECT_EQ(engine.heap_scheduled(), 1u);
+  engine.run_all();
+  EXPECT_EQ(engine.events_fired(), 3u);
+}
+
+TEST(Engine, WheelWindowSlidesAfterQuietJump) {
+  // After run_until jumps the clock far past the wheel window, newly
+  // scheduled near-future events must still be bucketed (the cursor
+  // resyncs when the wheel is empty) rather than leaking into the heap.
+  Engine engine;
+  engine.run_until(Time::from_sec(5));
+  engine.schedule_after(Duration::from_ms(4), [] {});
+  EXPECT_EQ(engine.wheel_scheduled(), 1u);
+  EXPECT_EQ(engine.heap_scheduled(), 0u);
+  engine.run_all();
+  EXPECT_EQ(engine.now(), Time::from_sec(5) + Duration::from_ms(4));
+}
+
+TEST(Engine, InlineCallbackCountsTrackStorage) {
+  Engine engine;
+  engine.schedule_at(Time::from_us(1), [] {});
+  // A capture far past InlineCallback::kCapacity falls back to the heap
+  // and is counted, not rejected.
+  std::array<char, 512> big{};
+  big[0] = 1;
+  bool saw = false;
+  engine.schedule_at(Time::from_us(2), [big, &saw] { saw = big[0] == 1; });
+  EXPECT_EQ(engine.callbacks_inline(), 1u);
+  EXPECT_EQ(engine.callback_fallbacks(), 1u);
+  engine.run_all();
+  EXPECT_TRUE(saw);
+}
+
+TEST(Engine, PoolGrowsOnceForBoundedOccupancy) {
+  Engine engine;
+  for (int i = 0; i < 200; ++i) {
+    engine.schedule_at(Time::from_us(i + 1), [] {});
+  }
+  engine.run_all();
+  // 200 simultaneous events fit one 256-slot slab; the churn above must
+  // not have grown a second one.
+  EXPECT_EQ(engine.pool_slab_grows(), 1u);
+  EXPECT_EQ(engine.pool_high_water(), 200u);
 }
 
 TEST(Engine, HandleOutlivingEngineIsSafe) {

@@ -1,0 +1,96 @@
+// InlineCallback: small-buffer storage for small captures, counted heap
+// fallback for oversized ones, move-only ownership semantics.
+#include "sim/inline_callback.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace satin::sim {
+namespace {
+
+TEST(InlineCallback, DefaultIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.heap_allocated());
+}
+
+TEST(InlineCallback, InvokesSmallCaptureInline) {
+  int hits = 0;
+  InlineCallback cb([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.heap_allocated());
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, CaptureAtCapacityStaysInline) {
+  std::array<char, InlineCallback::kCapacity - sizeof(void*)> payload{};
+  payload.front() = 7;
+  payload.back() = 9;
+  int sum = 0;
+  InlineCallback cb(
+      [payload, &sum] { sum = payload.front() + payload.back(); });
+  EXPECT_FALSE(cb.heap_allocated());
+  cb();
+  EXPECT_EQ(sum, 16);
+}
+
+TEST(InlineCallback, OversizedCaptureFallsBackToHeapAndIsCounted) {
+  const std::uint64_t before = inline_callback_fallbacks().load();
+  std::array<char, InlineCallback::kCapacity * 4> big{};
+  big[0] = 1;
+  bool saw = false;
+  InlineCallback cb([big, &saw] { saw = big[0] == 1; });
+  EXPECT_TRUE(cb.heap_allocated());
+  EXPECT_EQ(inline_callback_fallbacks().load(), before + 1);
+  cb();
+  EXPECT_TRUE(saw);
+}
+
+TEST(InlineCallback, MoveTransfersOwnership) {
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> alive = token;
+  int got = 0;
+  InlineCallback a([token, &got] { got = *token; });
+  token.reset();
+  EXPECT_FALSE(alive.expired());  // capture keeps it alive
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(got, 42);
+  b.reset();
+  EXPECT_TRUE(alive.expired());  // reset destroyed the capture
+}
+
+TEST(InlineCallback, MoveAssignReplacesExistingTarget) {
+  auto old_token = std::make_shared<int>(1);
+  std::weak_ptr<int> old_alive = old_token;
+  InlineCallback cb([t = std::move(old_token)] { (void)t; });
+  int hits = 0;
+  cb = InlineCallback([&hits] { ++hits; });
+  EXPECT_TRUE(old_alive.expired());  // previous capture destroyed
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, HeapFallbackMoveMovesThePointerNotTheCapture) {
+  std::array<char, InlineCallback::kCapacity * 2> big{};
+  big[1] = 5;
+  int got = 0;
+  InlineCallback a([big, &got] { got = big[1]; });
+  ASSERT_TRUE(a.heap_allocated());
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.heap_allocated());
+  b();
+  EXPECT_EQ(got, 5);
+}
+
+}  // namespace
+}  // namespace satin::sim

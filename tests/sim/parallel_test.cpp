@@ -14,7 +14,10 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/engine.h"
+#include "sim/rng.h"
 #include "sim/seed_seq.h"
+#include "sim/time.h"
 
 namespace satin::sim {
 namespace {
@@ -111,6 +114,63 @@ TEST(TrialRunner, MetricsSnapshotsAreByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(registry.counter("trial.index_sum").value(), 37u * 36u / 2u);
   EXPECT_DOUBLE_EQ(registry.gauge("trial.last_index").value(), 36.0);
   EXPECT_EQ(registry.histogram("trial.value").moments().count(), 37u);
+#endif
+}
+
+// Each trial runs a real pooled engine — seed-dependent mix of wheel and
+// heap traffic with mid-run cancels and schedule-from-callback — and folds
+// the engine's memory-model counters into the merged metrics. Those
+// counters are deterministic per trial, so the merged snapshot must be
+// byte-identical at any job count, exactly like the PR-3 contract for
+// bench output.
+void pooled_engine_trial(const TrialContext& ctx) {
+  Engine engine;
+  Rng rng(ctx.seed);
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 40; ++i) {
+    // Up to 200 ms out: straddles the ~68 ms wheel horizon, so every
+    // trial exercises both admission paths.
+    const auto us = static_cast<std::int64_t>(rng.index(200000)) + 1;
+    handles.push_back(engine.schedule_after(
+        Duration::from_us(us), [&engine, &rng, &handles] {
+          if (rng.bernoulli(0.5) && !handles.empty()) {
+            handles[rng.index(handles.size())].cancel();
+          }
+          if (rng.bernoulli(0.3)) {
+            handles.push_back(engine.schedule_after(
+                Duration::from_us(
+                    static_cast<std::int64_t>(rng.index(1000)) + 1),
+                [] {}));
+          }
+        }));
+  }
+  engine.run_all();
+  SATIN_METRIC_ADD("engine_trial.fired", engine.events_fired());
+  SATIN_METRIC_ADD("engine_trial.pool_reuses", engine.pool_reuses());
+  SATIN_METRIC_ADD("engine_trial.wheel", engine.wheel_scheduled());
+  SATIN_METRIC_ADD("engine_trial.heap", engine.heap_scheduled());
+  SATIN_METRIC_ADD("engine_trial.cb_inline", engine.callbacks_inline());
+  SATIN_METRIC_ADD("engine_trial.cb_fallback", engine.callback_fallbacks());
+}
+
+std::string run_pooled_engine_trials(int jobs, std::size_t trials) {
+  obs::MetricsRegistry registry;
+  obs::install_metrics(&registry);
+  TrialRunnerOptions options;
+  options.jobs = jobs;
+  options.root_seed = 4242;
+  TrialRunner runner(options);
+  runner.run(trials, pooled_engine_trial);
+  obs::install_metrics(nullptr);
+  return registry.to_json();
+}
+
+TEST(TrialRunner, PooledEngineCountersAreByteIdenticalAcrossJobCounts) {
+  const std::string serial = run_pooled_engine_trials(1, 12);
+  const std::string parallel = run_pooled_engine_trials(8, 12);
+  EXPECT_EQ(serial, parallel);
+#if SATIN_OBS_ENABLED
+  EXPECT_NE(serial.find("engine_trial.pool_reuses"), std::string::npos);
 #endif
 }
 
