@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
 
   sim::TrialRunnerOptions options;
   options.jobs = jobs;
+  options.flight_ring = obs.flight_ring();
   sim::TrialRunner runner(options);
 
   // The randomized run is longer so area 14 gets several checks.

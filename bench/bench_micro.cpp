@@ -9,6 +9,7 @@
 
 #include "bench/common.h"
 #include "hw/memory.h"
+#include "obs/flight/recorder.h"
 #include "secure/digest_cache.h"
 #include "secure/hash.h"
 #include "sim/engine.h"
@@ -149,6 +150,68 @@ void BM_EventChurnPeriodicTick(benchmark::State& state) {
                  : 0.0;
 }
 BENCHMARK(BM_EventChurnPeriodicTick);
+
+// --- Flight-recorder overhead --------------------------------------------
+//
+// The same periodic-tick churn with a FlightRecorder installed: every
+// engine commit now also appends one 28-byte FlightRecord. The recorder
+// preallocates everything at construction (ring storage, spill buffer,
+// encode buffer), so allocs_per_event must stay exactly 0 in both modes —
+// the same gate CI applies to the flight-off churn benches. The delta
+// vs BM_EventChurnPeriodicTick is the per-event recording cost.
+
+void churn_with_flight(benchmark::State& state,
+                       satin::obs::FlightRecorder& recorder) {
+  satin::sim::Engine engine;
+  satin::obs::install_flight(&recorder);
+  for (std::size_t b = 0; b < satin::sim::Engine::kWheelBuckets; ++b) {
+    engine.schedule_after(
+        satin::sim::Duration::from_ps(
+            static_cast<std::int64_t>(b) << satin::sim::Engine::kBucketShift) +
+            satin::sim::Duration::from_us(1),
+        [] {});
+  }
+  engine.run_all();
+  for (int i = 0; i < 128; ++i) {
+    engine.schedule_after(satin::sim::Duration::from_ms(4), [] {});
+    engine.step();
+  }
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    engine.schedule_after(satin::sim::Duration::from_ms(4), [] {});
+    engine.step();
+    ++events;
+  }
+  const std::uint64_t allocs =
+      g_allocs.load(std::memory_order_relaxed) - before;
+  satin::obs::install_flight(nullptr);
+  state.counters["allocs_per_event"] =
+      events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                 : 0.0;
+  state.counters["flight_commits"] =
+      static_cast<double>(recorder.commits());
+}
+
+// Ring mode: the bounded-capture configuration CI's divergence audit uses
+// for long runs. Steady state overwrites in place.
+void BM_EventChurnPeriodicTickFlightRing(benchmark::State& state) {
+  satin::obs::FlightRecorder::Options opts;
+  opts.ring = 1u << 16;
+  satin::obs::FlightRecorder recorder(opts);
+  churn_with_flight(state, recorder);
+}
+BENCHMARK(BM_EventChurnPeriodicTickFlightRing);
+
+// Spill mode: full-stream capture. /dev/null sinks the fwrite()s so the
+// bench measures encode+buffer cost, not disk bandwidth.
+void BM_EventChurnPeriodicTickFlightSpill(benchmark::State& state) {
+  satin::obs::FlightRecorder::Options opts;
+  opts.path = "/dev/null";
+  satin::obs::FlightRecorder recorder(opts);
+  churn_with_flight(state, recorder);
+}
+BENCHMARK(BM_EventChurnPeriodicTickFlightSpill);
 
 // Far-future traffic (watchdogs, introspection periods): a standing
 // population of ~1k events rides the overflow binary heap; each round

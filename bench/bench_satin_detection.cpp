@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
   sweep_config.duel.rounds_target = 190;  // defaults ARE the paper config
   sweep_config.trials = kReplicas;
   sweep_config.jobs = obs.jobs(/*fallback=*/1);
+  sweep_config.flight_ring = obs.flight_ring();
 
   std::printf(
       "running %zu replicas of 190 introspection rounds (~1520 simulated s "

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the reproduction benches and collects machine-readable timings into
-# BENCH_pr5.json: per-bench wall-clock, the BENCHJSON self-reports the
+# BENCH_pr6.json: per-bench wall-clock, the BENCHJSON self-reports the
 # parallel benches print on stderr (trials, jobs, trials/sec), the digest
 # cache counters and engine memory-model gauges from each bench's metrics
 # snapshot, the bench_micro event-churn allocation audit (steady state
@@ -19,8 +19,13 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$repo/build}"
 jobs="${JOBS:-$(nproc)}"
-out="${OUT:-$repo/BENCH_pr5.json}"
-baseline="${BASELINE:-$repo/BENCH_pr4.json}"
+out="${OUT:-$repo/BENCH_pr6.json}"
+# Baseline for the delta table: the newest committed BENCH_pr*.json that
+# isn't this run's own output (version-sorted, so pr10 beats pr9).
+# Override with BASELINE=path.
+auto_baseline="$(ls -1v "$repo"/BENCH_pr*.json 2>/dev/null |
+                 grep -vFx "$out" | tail -1 || true)"
+baseline="${BASELINE:-$auto_baseline}"
 clean_rounds="${CLEAN_ROUNDS:-1900}"
 if [ "${1:-}" = "--local" ]; then
   out="${OUT:-$repo/BENCH_local.json}"
@@ -196,10 +201,10 @@ if [ -x "$detect" ] && { [ "$#" -eq 0 ] || [[ " $* " == *" bench_satin_detection
   rm -f "$on_out" "$off_out"
 fi
 
-# Engine speedup on the headline detection bench vs the committed
-# baseline record (the PR-5 acceptance figure).
+# Engine speedup on the headline detection bench vs the auto-detected
+# baseline record.
 detect_speedup="null"
-if [ -f "$baseline" ]; then
+if [ -n "$baseline" ] && [ -f "$baseline" ]; then
   detect_speedup="$(python3 - "$baseline" <<PY
 import json
 old = {b["bench"]: b["wall_s"] for b in json.load(open("$baseline")).get("benches", [])}
@@ -210,13 +215,14 @@ PY
 )"
 fi
 
-printf '{"schema":"satin-bench-pr5/1","nproc":%s,"jobs":%s,"detection_speedup_vs_pr4":%s,"event_churn_allocs":%s,"clean_rounds_cache_comparison":%s,"benches":[%s]}\n' \
-  "$(nproc)" "$jobs" "$detect_speedup" "$churn" "$cache_cmp" "$rows" >"$out"
+baseline_name="$( [ -n "$baseline" ] && basename "$baseline" || echo null)"
+printf '{"schema":"satin-bench-pr6/1","nproc":%s,"jobs":%s,"baseline":"%s","detection_speedup_vs_baseline":%s,"event_churn_allocs":%s,"clean_rounds_cache_comparison":%s,"benches":[%s]}\n' \
+  "$(nproc)" "$jobs" "$baseline_name" "$detect_speedup" "$churn" "$cache_cmp" "$rows" >"$out"
 echo "wrote $out" >&2
-[ "$detect_speedup" = "null" ] || echo "bench_satin_detection speedup vs pr4: ${detect_speedup}x" >&2
+[ "$detect_speedup" = "null" ] || echo "bench_satin_detection speedup vs $baseline_name: ${detect_speedup}x" >&2
 
 # Host-time delta table against the previous PR's record, when present.
-if [ -f "$baseline" ]; then
+if [ -n "$baseline" ] && [ -f "$baseline" ]; then
   python3 - "$baseline" "$out" <<'PY'
 import json, sys
 
@@ -224,18 +230,21 @@ def rows(path):
     with open(path) as f:
         return {b["bench"]: b["wall_s"] for b in json.load(f).get("benches", [])}
 
+import os
 old, new = rows(sys.argv[1]), rows(sys.argv[2])
+old_label = os.path.basename(sys.argv[1]).removesuffix(".json")
+new_label = os.path.basename(sys.argv[2]).removesuffix(".json")
 print(f"\nhost-time delta vs {sys.argv[1]}:")
-print(f"{'bench':<32} {'pr4 (s)':>10} {'pr5 (s)':>10} {'delta':>8}")
+print(f"{'bench':<32} {old_label + ' (s)':>14} {new_label + ' (s)':>14} {'delta':>8}")
 for name in sorted(set(old) | set(new)):
     o, n = old.get(name), new.get(name)
     if o is None or n is None:
         status = "new" if o is None else "gone"
         val = n if n is not None else o
-        print(f"{name:<32} {'-' if o is None else f'{o:10.3f}':>10} "
-              f"{'-' if n is None else f'{n:10.3f}':>10} {status:>8}")
+        print(f"{name:<32} {'-' if o is None else f'{o:14.3f}':>14} "
+              f"{'-' if n is None else f'{n:14.3f}':>14} {status:>8}")
         continue
     delta = (n - o) / o * 100 if o > 0 else 0.0
-    print(f"{name:<32} {o:>10.3f} {n:>10.3f} {delta:>+7.1f}%")
+    print(f"{name:<32} {o:>14.3f} {n:>14.3f} {delta:>+7.1f}%")
 PY
 fi

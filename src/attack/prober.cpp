@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/flight/recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/log.h"
@@ -168,10 +169,16 @@ void KProber::probe_round(hw::CoreId self, sim::Time now, bool report) {
       if (!*flagged) {
         *flagged = true;
         ++detections_;
+        // Payload carries the staleness in ps — integral, so the record is
+        // bit-stable where a rounded seconds double would not be.
+        SATIN_FLIGHT_RECORD(obs::FlightKind::kProbe, now, detections_ - 1,
+                            core, static_cast<std::uint64_t>(staleness.ps()));
         SATIN_TRACE_INSTANT_ARG("attack", "scan_detected", now, core,
                                 obs::kWorldNormal, "staleness_s",
                                 staleness.sec());
         SATIN_METRIC_INC("attack.detections");
+        SATIN_METRIC_DIGEST_OBSERVE("attack.detection_staleness_s",
+                                    staleness.sec());
         SATIN_LOG(kDebug) << "kprober: core " << core
                           << " looks secure-world-held (staleness "
                           << staleness.to_string() << ")";

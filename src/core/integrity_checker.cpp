@@ -3,6 +3,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "obs/flight/recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/log.h"
@@ -75,6 +76,8 @@ void IntegrityChecker::run_attempt(
         if (!match && attempt < max_retries_) {
           ++retries_;
           SATIN_METRIC_INC("satin.retries");
+          SATIN_FLIGHT_RECORD(obs::FlightKind::kRetry, scan.scan_end, retries_,
+                              core, static_cast<std::uint64_t>(area));
           SATIN_TRACE_INSTANT_ARG("integrity", "retry", scan.scan_end, core,
                                   obs::kWorldSecure, "area", area);
           SATIN_LOG(kDebug) << "integrity: mismatch on area " << area
@@ -93,6 +96,8 @@ void IntegrityChecker::run_attempt(
         ++checks_;
         ++per_area_checks_.at(static_cast<std::size_t>(area));
         SATIN_METRIC_INC("integrity.checks");
+        SATIN_METRIC_DIGEST_OBSERVE("integrity.retries_per_check",
+                                    static_cast<double>(attempt));
         if (!outcome.ok) {
           const AlarmKind kind = outcome.transient ? AlarmKind::kTransient
                                                    : AlarmKind::kConfirmed;
@@ -105,6 +110,10 @@ void IntegrityChecker::run_attempt(
           alarm.retries = attempt;
           alarms_.push_back(alarm);
           SATIN_METRIC_INC("integrity.alarms");
+          SATIN_FLIGHT_RECORD(
+              obs::FlightKind::kAlarm, scan.scan_end, alarms_.size() - 1, core,
+              (static_cast<std::uint64_t>(area) << 1) |
+                  (kind == AlarmKind::kTransient ? 1u : 0u));
           if (kind == AlarmKind::kTransient) {
             ++transient_alarms_;
             SATIN_METRIC_INC("satin.transient_alarms");

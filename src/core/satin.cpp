@@ -138,7 +138,13 @@ void Satin::on_session(std::shared_ptr<hw::SecureSession> session) {
         record.alarm = !outcome.ok;
         record.transient = outcome.transient;
         record.retries = outcome.retries;
-        if (record.alarm) SATIN_METRIC_INC("satin.detections");
+        if (record.alarm) {
+          SATIN_METRIC_INC("satin.detections");
+          // Detection lag: secure entry (normal world frozen) to the
+          // digest verdict, including the world switch and any rescans.
+          SATIN_METRIC_DIGEST_OBSERVE("satin.detection_lag_s",
+                                      (record.scan_end - record.entry).sec());
+        }
         records_.push_back(record);
         // Self Activation Module: arm this core's next wake before
         // leaving the secure world (Fig. 5 step 5).

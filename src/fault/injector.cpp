@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/flight/recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/log.h"
@@ -48,6 +49,9 @@ std::uint64_t FaultInjector::injected_total() const {
 
 void FaultInjector::note(FaultKind kind, int core) {
   ++injected_[static_cast<std::size_t>(kind)];
+  SATIN_FLIGHT_RECORD(obs::FlightKind::kFault, platform_.engine().now(),
+                      injected_total() - 1, core,
+                      static_cast<std::uint64_t>(kind));
   SATIN_TRACE_INSTANT("fault", to_string(kind),
                       platform_.engine().now(), core, obs::kWorldNone);
   SATIN_METRIC_INC("fault.injected");

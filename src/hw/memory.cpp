@@ -125,6 +125,10 @@ void Memory::write(sim::Time now, std::size_t offset,
     SATIN_METRIC_ADD("race.bytes_write_won", bytes_won);
     SATIN_METRIC_ADD("race.bytes_write_lost", (hi - lo) - bytes_won);
     SATIN_METRIC_INC("race.writes_during_scan");
+    // Race-window width: how many overlapped bytes were still ahead of the
+    // scan cursor when the write landed — the per-write TOCTTOU window.
+    SATIN_METRIC_DIGEST_OBSERVE("race.window_bytes",
+                                static_cast<double>(bytes_won));
   }
   std::copy(data.begin(), data.end(), bytes_.begin() + offset);
 }

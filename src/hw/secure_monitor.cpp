@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/flight/recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/log.h"
@@ -52,6 +53,9 @@ void SecureMonitor::on_secure_irq(CoreId core_id, IrqId irq) {
   // Context save begins now: the normal world on this core is frozen from
   // this instant — exactly the availability loss the probers sense.
   core.enter_secure(entry);
+  SATIN_FLIGHT_RECORD(obs::FlightKind::kWorldEnter, entry, sessions_, core_id,
+                      0);
+  ++sessions_;
 
   auto session = std::make_shared<SecureSession>();
   session->monitor_ = this;
@@ -88,6 +92,9 @@ void SecureMonitor::finish_session(SecureSession& session) {
   engine_.schedule_after(switch_out, [this, core_id] {
     Core& core = *cores_.at(static_cast<std::size_t>(core_id));
     core.exit_secure(engine_.now());
+    SATIN_FLIGHT_RECORD(obs::FlightKind::kWorldExit, engine_.now(), exits_,
+                        core_id, 0);
+    ++exits_;
   });
 }
 

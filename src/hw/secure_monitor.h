@@ -77,6 +77,10 @@ class SecureMonitor {
   // Secure entries aborted by an installed FaultHooks.
   std::uint64_t failed_entries() const { return failed_entries_; }
 
+  // Successful secure-world entries (ordinal carried by the flight
+  // recorder's kWorldEnter/kWorldExit records).
+  std::uint64_t sessions_entered() const { return sessions_; }
+
   sim::Duration sample_switch() {
     last_switch_ = timing_.sample_switch(rng_);
     ++switches_;
@@ -93,6 +97,8 @@ class SecureMonitor {
   std::vector<Core*> cores_;
   FaultHooks* fault_hooks_ = nullptr;
   std::uint64_t failed_entries_ = 0;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t exits_ = 0;
   SecurePayload payload_;
   sim::Duration last_switch_;
   std::uint64_t switches_ = 0;

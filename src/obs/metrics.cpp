@@ -68,12 +68,21 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return it->second;
 }
 
+QuantileDigest& MetricsRegistry::digest(const std::string& name) {
+  return digests_[name];
+}
+
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const auto& [name, c] : other.counters_) {
     counters_[name].inc(c.value());
   }
   for (const auto& [name, g] : other.gauges_) {
-    gauges_[name].set(g.value());
+    Gauge& mine = gauges_[name];
+    mine.set(g.value());
+    if (g.is_volatile()) mine.mark_volatile();
+  }
+  for (const auto& [name, d] : other.digests_) {
+    digests_[name].merge_from(d);
   }
   for (const auto& [name, h] : other.histograms_) {
     auto it = histograms_.find(name);
@@ -110,6 +119,12 @@ const Histogram* MetricsRegistry::find_histogram(
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+const QuantileDigest* MetricsRegistry::find_digest(
+    const std::string& name) const {
+  const auto it = digests_.find(name);
+  return it == digests_.end() ? nullptr : &it->second;
+}
+
 namespace {
 
 std::string format_double(double v) {
@@ -120,7 +135,7 @@ std::string format_double(double v) {
 
 }  // namespace
 
-std::string MetricsRegistry::to_json() const {
+std::string MetricsRegistry::to_json(bool include_volatile) const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -131,9 +146,22 @@ std::string MetricsRegistry::to_json() const {
   out += "\n  },\n  \"gauges\": {";
   first = true;
   for (const auto& [name, g] : gauges_) {
+    if (!include_volatile && g.is_volatile()) continue;
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + json_escape(name) + "\": " + format_double(g.value());
+  }
+  out += "\n  },\n  \"digests\": {";
+  first = true;
+  for (const auto& [name, d] : digests_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(d.count()) + ", \"min\": " + format_double(d.min()) +
+           ", \"p50\": " + format_double(d.p50()) +
+           ", \"p95\": " + format_double(d.p95()) +
+           ", \"p99\": " + format_double(d.p99()) +
+           ", \"max\": " + format_double(d.max()) + "}";
   }
   out += "\n  },\n  \"histograms\": {";
   first = true;
@@ -162,10 +190,11 @@ std::string MetricsRegistry::to_json() const {
   return out;
 }
 
-bool MetricsRegistry::write_json(const std::string& path) const {
+bool MetricsRegistry::write_json(const std::string& path,
+                                 bool include_volatile) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string content = to_json();
+  const std::string content = to_json(include_volatile);
   const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
   const bool write_ok = written == content.size();
   const bool close_ok = std::fclose(f) == 0;

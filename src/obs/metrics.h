@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/digest.h"
 #include "sim/stats.h"
 
 namespace satin::obs {
@@ -35,8 +36,17 @@ class Gauge {
   void set(double value) { value_ = value; }
   double value() const { return value_; }
 
+  // Volatile gauges carry host-dependent values (wall clock, allocator
+  // high-water marks) that are NOT part of the bit-identity contract.
+  // Stable snapshots (--metrics-stable, to_json(false)) omit them so CI
+  // identity gates can diff snapshots verbatim instead of sed-ing out
+  // known-noisy names.
+  void mark_volatile() { volatile_ = true; }
+  bool is_volatile() const { return volatile_; }
+
  private:
   double value_ = 0.0;
+  bool volatile_ = false;
 };
 
 // Fixed upper-bound buckets plus an implicit +inf overflow bucket;
@@ -79,11 +89,16 @@ class MetricsRegistry {
   // with different bounds.
   Histogram& histogram(const std::string& name,
                        std::vector<double> upper_bounds);
+  // Streaming quantile digest (p50/p95/p99/max); unlike histograms these
+  // merge permutation-invariantly, so cross-trial aggregation is bit-exact
+  // no matter how shards arrive.
+  QuantileDigest& digest(const std::string& name);
 
   // Read-only lookups; null when the name was never registered.
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+  const QuantileDigest* find_digest(const std::string& name) const;
 
   // Folds another registry into this one: counters add, gauges take the
   // other's value (last merge wins), histograms add bucket counts and
@@ -94,14 +109,18 @@ class MetricsRegistry {
   void merge_from(const MetricsRegistry& other);
 
   // Deterministic snapshot: names sorted, stable field order, same string
-  // for the same state no matter the registration order.
-  std::string to_json() const;
-  bool write_json(const std::string& path) const;
+  // for the same state no matter the registration order. Pass
+  // include_volatile=false for the stable view (volatile gauges omitted)
+  // that identity gates diff across jobs counts and cache modes.
+  std::string to_json(bool include_volatile = true) const;
+  bool write_json(const std::string& path,
+                  bool include_volatile = true) const;
 
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, QuantileDigest> digests_;
 };
 
 // Per-thread registry the macros emit into; null disables metrics. The
@@ -149,11 +168,18 @@ inline void install_metrics(MetricsRegistry* registry) {
       satin_obs_m_->histogram(name).observe(static_cast<double>(value)); \
   } while (0)
 
+#define SATIN_METRIC_DIGEST_OBSERVE(name, value)                       \
+  do {                                                                 \
+    if (auto* satin_obs_m_ = ::satin::obs::metrics())                  \
+      satin_obs_m_->digest(name).observe(static_cast<double>(value));  \
+  } while (0)
+
 #else  // !SATIN_OBS_ENABLED
 
 #define SATIN_METRIC_INC(name) ((void)0)
 #define SATIN_METRIC_ADD(name, delta) ((void)0)
 #define SATIN_METRIC_GAUGE_SET(name, value) ((void)0)
 #define SATIN_METRIC_OBSERVE(name, value) ((void)0)
+#define SATIN_METRIC_DIGEST_OBSERVE(name, value) ((void)0)
 
 #endif  // SATIN_OBS_ENABLED

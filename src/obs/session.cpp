@@ -28,8 +28,12 @@ void snapshot_engine_metrics(const sim::Engine& engine,
   // sequence — schedule order fixes pool recycling, callback storage and
   // wheel/heap admission — so, unlike the wall gauges below, they are
   // safe to snapshot inside parallel trials at any --jobs.
+  // Exception: the pool high-water mark depends on how many events are
+  // simultaneously live, which the ASan/obs-off builds perturb via
+  // callback storage sizes — volatile so --metrics-stable drops it.
   registry.gauge("engine.pool_high_water")
       .set(static_cast<double>(engine.pool_high_water()));
+  registry.gauge("engine.pool_high_water").mark_volatile();
   registry.gauge("engine.pool_slab_grows")
       .set(static_cast<double>(engine.pool_slab_grows()));
   registry.gauge("engine.pool_reuses")
@@ -42,11 +46,19 @@ void snapshot_engine_metrics(const sim::Engine& engine,
       .set(static_cast<double>(engine.wheel_scheduled()));
   registry.gauge("engine.heap_events")
       .set(static_cast<double>(engine.heap_scheduled()));
+#if SATIN_OBS_ENABLED
+  // Engine-side queue-depth digest (sampled per dispatch, cheap integer
+  // bit ops — no per-event map lookup). Deterministic: depth at each
+  // dispatch is fixed by the schedule order.
+  registry.digest("engine.queue_depth").merge_from(engine.queue_depth_digest());
+#endif
   if (!include_wall) return;
   registry.gauge("engine.wall_seconds").set(engine.wall_seconds());
+  registry.gauge("engine.wall_seconds").mark_volatile();
   const double sim_s = engine.now().sec();
   registry.gauge("engine.wall_s_per_sim_s")
       .set(sim_s > 0.0 ? engine.wall_seconds() / sim_s : 0.0);
+  registry.gauge("engine.wall_s_per_sim_s").mark_volatile();
 }
 
 namespace {
@@ -68,6 +80,23 @@ std::string take_flag(int& argc, char** argv, const char* key) {
   return value;
 }
 
+// Strips a bare "--<key>" switch from argv; true when it was present.
+bool take_bool_flag(int& argc, char** argv, const char* key) {
+  const std::string flag = std::string("--") + key;
+  bool present = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      present = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argv[out] = nullptr;
+  argc = out;
+  return present;
+}
+
 }  // namespace
 
 int ObsSession::jobs(int fallback) const {
@@ -79,7 +108,21 @@ int ObsSession::jobs(int fallback) const {
 ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity) {
   trace_path_ = take_flag(argc, argv, "trace");
   metrics_path_ = take_flag(argc, argv, "metrics");
+  metrics_stable_ = take_bool_flag(argc, argv, "metrics-stable");
   faults_spec_ = take_flag(argc, argv, "faults");
+  // --flight=path[,ring=N]: path of the binary recording, optionally a
+  // ring capacity (keep only the newest N records; 0/absent = spill the
+  // full stream to disk in bounded-memory chunks).
+  std::string flight_spec = take_flag(argc, argv, "flight");
+  if (!flight_spec.empty()) {
+    const std::size_t comma = flight_spec.find(",ring=");
+    if (comma != std::string::npos) {
+      flight_ring_ = static_cast<std::size_t>(
+          std::strtoull(flight_spec.c_str() + comma + 6, nullptr, 10));
+      flight_spec.resize(comma);
+    }
+    flight_path_ = flight_spec;
+  }
   const std::string jobs_value = take_flag(argc, argv, "jobs");
   if (!jobs_value.empty()) {
     jobs_ = std::atoi(jobs_value.c_str());
@@ -111,6 +154,20 @@ ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity) {
     registry_ = std::make_unique<MetricsRegistry>();
     install_metrics(registry_.get());
   }
+  if (!flight_path_.empty()) {
+    FlightRecorder::Options opts;
+    opts.path = flight_path_;
+    opts.ring = flight_ring_;
+    flight_ = std::make_unique<FlightRecorder>(opts);
+    if (flight_->failed()) {
+      std::fprintf(stderr, "obs: failed to open flight recording %s\n",
+                   flight_path_.c_str());
+      flight_.reset();
+      flight_path_.clear();
+    } else {
+      install_flight(flight_.get());
+    }
+  }
 }
 
 ObsSession::~ObsSession() { flush(nullptr); }
@@ -135,9 +192,18 @@ bool ObsSession::flush(const sim::Engine* engine) {
   if (registry_ != nullptr) {
     if (engine != nullptr) snapshot_engine_metrics(*engine, *registry_);
     if (metrics() == registry_.get()) install_metrics(nullptr);
-    if (!registry_->write_json(metrics_path_)) {
+    if (!registry_->write_json(metrics_path_,
+                               /*include_volatile=*/!metrics_stable_)) {
       std::fprintf(stderr, "obs: failed to write metrics %s\n",
                    metrics_path_.c_str());
+      ok = false;
+    }
+  }
+  if (flight_ != nullptr) {
+    if (flight() == flight_.get()) install_flight(nullptr);
+    if (!flight_->close()) {
+      std::fprintf(stderr, "obs: failed to write flight recording %s\n",
+                   flight_path_.c_str());
       ok = false;
     }
   }

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/flight/recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,17 +40,22 @@ void snapshot_engine_metrics(const sim::Engine& engine,
 
 class ObsSession {
  public:
-  // Consumes --trace= / --metrics= / --faults= / --jobs= /
-  // --digest-cache= from argv (argc is rewritten). When no flag is
-  // present the session installs nothing and costs nothing. The faults
-  // spec is only stripped and stored — the obs layer knows nothing about
-  // fault injection; pass faults_spec() to fault::install_from_spec() to
-  // arm it. --jobs is likewise only parsed and stored, for
-  // sim::TrialRunner: J worker threads, 0 = one per hardware thread,
-  // absent = the caller's fallback (typically 1). --digest-cache=on|off
-  // (default on) sets the process-wide default for the secure world's
-  // incremental digest cache; off runs the cache in shadow mode —
-  // bit-identical stdout/metrics/traces/digests, full re-hash every round.
+  // Consumes --trace= / --metrics= / --metrics-stable / --faults= /
+  // --jobs= / --digest-cache= / --flight= from argv (argc is rewritten).
+  // When no flag is present the session installs nothing and costs
+  // nothing. The faults spec is only stripped and stored — the obs layer
+  // knows nothing about fault injection; pass faults_spec() to
+  // fault::install_from_spec() to arm it. --jobs is likewise only parsed
+  // and stored, for sim::TrialRunner: J worker threads, 0 = one per
+  // hardware thread, absent = the caller's fallback (typically 1).
+  // --digest-cache=on|off (default on) sets the process-wide default for
+  // the secure world's incremental digest cache; off runs the cache in
+  // shadow mode — bit-identical stdout/metrics/traces/digests, full
+  // re-hash every round. --flight=path[,ring=N] records the engine's
+  // event-commit stream to a binary flight recording (spill mode by
+  // default; ring=N keeps only the newest N records). --metrics-stable
+  // omits volatile gauges (host wall time, allocator high-water marks)
+  // from the metrics snapshot, so identity gates can diff it verbatim.
   ObsSession(int& argc, char** argv,
              std::size_t trace_capacity = 1u << 20);
   ~ObsSession();
@@ -59,6 +65,8 @@ class ObsSession {
 
   bool trace_enabled() const { return recorder_ != nullptr; }
   bool metrics_enabled() const { return registry_ != nullptr; }
+  bool flight_enabled() const { return flight_ != nullptr; }
+  bool metrics_stable() const { return metrics_stable_; }
   bool faults_requested() const { return !faults_spec_.empty(); }
   bool jobs_requested() const { return jobs_ >= 0; }
   bool digest_cache_enabled() const { return digest_cache_; }
@@ -68,9 +76,13 @@ class ObsSession {
   const std::string& trace_path() const { return trace_path_; }
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& faults_spec() const { return faults_spec_; }
+  const std::string& flight_path() const { return flight_path_; }
+  // Ring capacity parsed from --flight=path,ring=N; 0 = spill mode.
+  std::size_t flight_ring() const { return flight_ring_; }
 
   TraceRecorder* recorder() { return recorder_.get(); }
   MetricsRegistry* registry() { return registry_.get(); }
+  FlightRecorder* flight_recorder() { return flight_.get(); }
 
   // Writes the requested files and uninstalls the global hooks. Pass the
   // engine to include its self-metrics in the snapshot; call before the
@@ -82,10 +94,14 @@ class ObsSession {
   std::string trace_path_;
   std::string metrics_path_;
   std::string faults_spec_;
-  int jobs_ = -1;  // -1 = flag absent
+  std::string flight_path_;
+  std::size_t flight_ring_ = 0;  // 0 = spill mode
+  int jobs_ = -1;                // -1 = flag absent
   bool digest_cache_ = true;
+  bool metrics_stable_ = false;
   std::unique_ptr<TraceRecorder> recorder_;
   std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<FlightRecorder> flight_;
   bool flushed_ = false;
 };
 

@@ -153,6 +153,7 @@ DuelSweep run_duel_sweep(
   sim::TrialRunnerOptions options;
   options.jobs = config.jobs;
   options.root_seed = config.root_seed;
+  options.flight_ring = config.flight_ring;
   sim::TrialRunner runner(options);
 
   DuelSweep sweep;

@@ -115,6 +115,9 @@ struct DuelSweepConfig {
   // hardware thread).
   int jobs = 1;
   std::uint64_t root_seed = 0x5A71A57ull;
+  // Per-trial flight-recorder ring capacity (0 = full per-trial stream);
+  // pass ObsSession::flight_ring() so --flight=...,ring=N bounds trials too.
+  std::size_t flight_ring = 0;
 };
 
 struct DuelSweep {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight/recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,6 +41,9 @@ void Introspector::scan_async(hw::CoreId core, std::size_t offset,
   const double per_byte_ps = per_byte_s * 1e12;
   const sim::Time start = platform_.engine().now();
   auto token = platform_.memory().begin_scan(start, offset, length, per_byte_ps);
+  SATIN_FLIGHT_RECORD(obs::FlightKind::kScanStart, start, scans_, core,
+                      (static_cast<std::uint64_t>(offset) << 32) |
+                          static_cast<std::uint64_t>(length));
   SATIN_TRACE_BEGIN("secure", "scan", start, core, obs::kWorldSecure);
 
   const sim::Duration total = sim::Duration::from_sec_f(
@@ -64,6 +68,8 @@ void Introspector::scan_async(hw::CoreId core, std::size_t offset,
         result.scan_end = platform_.engine().now();
         result.per_byte_s = per_byte_s;
         ++scans_;
+        SATIN_FLIGHT_RECORD(obs::FlightKind::kScanEnd, result.scan_end,
+                            scans_ - 1, core, result.digest);
         SATIN_TRACE_END("secure", "scan", result.scan_end, core,
                         obs::kWorldSecure);
         // Cache observability. RoundOutcome bookkeeping is identical with
@@ -90,6 +96,8 @@ void Introspector::scan_async(hw::CoreId core, std::size_t offset,
         SATIN_METRIC_ADD("introspect.bytes_scanned", length);
         SATIN_METRIC_OBSERVE("introspect.scan_s",
                              (result.scan_end - start).sec());
+        SATIN_METRIC_DIGEST_OBSERVE("introspect.scan_s",
+                                    (result.scan_end - start).sec());
         done(result);
       });
 }

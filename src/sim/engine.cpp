@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight/recorder.h"
 #include "obs/trace.h"
 #include "sim/log.h"
 
@@ -235,6 +236,16 @@ bool Engine::fire_next(Time limit) {
   now_ = top.when;
   pool_->release(top.index);
   ++fired_;
+#if SATIN_OBS_ENABLED
+  // Depth AFTER the pop: the population the next settle/pop works over.
+  queue_depth_digest_.observe(
+      static_cast<double>(heap_.size() + drain_.size() + wheel_count_));
+#endif
+  // The flight record is the ground-truth commit: (when, seq) is exactly
+  // the pair the queue ordered by, so two runs with identical streams
+  // dispatched identical work.
+  SATIN_FLIGHT_RECORD(obs::FlightKind::kDispatch, now_, top.seq,
+                      obs::kGlobalTrack, 0);
   SATIN_TRACE_BEGIN("engine", "dispatch", now_, obs::kGlobalTrack,
                     obs::kWorldNone);
   cb();

@@ -27,6 +27,13 @@
 #include "sim/inline_callback.h"
 #include "sim/time.h"
 
+#ifndef SATIN_OBS_ENABLED
+#define SATIN_OBS_ENABLED 1
+#endif
+#if SATIN_OBS_ENABLED
+#include "obs/digest.h"
+#endif
+
 namespace satin::sim {
 
 using Callback = InlineCallback;
@@ -128,6 +135,19 @@ class Engine {
   std::uint64_t wheel_scheduled() const { return wheel_scheduled_; }
   std::uint64_t heap_scheduled() const { return heap_scheduled_; }
 
+#if SATIN_OBS_ENABLED
+  // Queue depth sampled at every dispatch into a mergeable log-bucket
+  // digest (obs/digest.h). Owned by the engine rather than routed through
+  // the metrics slot so the per-event cost is a few integer bit ops, not
+  // a string-map lookup; obs/session.h folds it into the registry as
+  // "engine.queue_depth". Deterministic for a fixed schedule, so trials
+  // merge bit-identically at any --jobs. Compiled out with the rest of
+  // the instrumentation under -DSATIN_ENABLE_OBS=OFF.
+  const obs::QuantileDigest& queue_depth_digest() const {
+    return queue_depth_digest_;
+  }
+#endif
+
   // Timer-wheel geometry: 1024 buckets of 2^26 ps (~67.1 µs) give a
   // ~68.7 ms horizon — comfortably past the 4 ms / 250 Hz scheduler tick,
   // timer reprogramming and probe cadences that dominate event traffic,
@@ -189,6 +209,10 @@ class Engine {
   std::uint64_t cb_fallback_ = 0;
   std::uint64_t wheel_scheduled_ = 0;
   std::uint64_t heap_scheduled_ = 0;
+
+#if SATIN_OBS_ENABLED
+  obs::QuantileDigest queue_depth_digest_;
+#endif
 
   // Shared with every handle so a handle outliving the engine still finds
   // live pool state to (no-)op against.

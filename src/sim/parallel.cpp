@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/flight/recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -19,14 +20,19 @@ namespace {
 // null, the inline jobs=1 path holds the caller's session sinks).
 class ScopedTrialSinks {
  public:
-  ScopedTrialSinks(obs::MetricsRegistry* metrics, obs::TraceRecorder* tracer)
-      : prev_metrics_(obs::metrics()), prev_tracer_(obs::tracer()) {
+  ScopedTrialSinks(obs::MetricsRegistry* metrics, obs::TraceRecorder* tracer,
+                   obs::FlightRecorder* flight)
+      : prev_metrics_(obs::metrics()),
+        prev_tracer_(obs::tracer()),
+        prev_flight_(obs::flight()) {
     obs::install_metrics(metrics);
     obs::install_tracer(tracer);
+    obs::install_flight(flight);
   }
   ~ScopedTrialSinks() {
     obs::install_metrics(prev_metrics_);
     obs::install_tracer(prev_tracer_);
+    obs::install_flight(prev_flight_);
   }
   ScopedTrialSinks(const ScopedTrialSinks&) = delete;
   ScopedTrialSinks& operator=(const ScopedTrialSinks&) = delete;
@@ -34,6 +40,7 @@ class ScopedTrialSinks {
  private:
   obs::MetricsRegistry* prev_metrics_;
   obs::TraceRecorder* prev_tracer_;
+  obs::FlightRecorder* prev_flight_;
 };
 
 }  // namespace
@@ -70,9 +77,11 @@ void TrialRunner::run(std::size_t trials,
   // and so the merged state is independent of completion order.
   obs::MetricsRegistry* parent_metrics = obs::metrics();
   obs::TraceRecorder* parent_tracer = obs::tracer();
+  obs::FlightRecorder* parent_flight = obs::flight();
 
   std::vector<std::unique_ptr<obs::MetricsRegistry>> trial_metrics(trials);
   std::vector<std::unique_ptr<obs::TraceRecorder>> trial_tracers(trials);
+  std::vector<std::unique_ptr<obs::FlightRecorder>> trial_flights(trials);
   std::vector<std::exception_ptr> errors(trials);
   for (std::size_t i = 0; i < trials; ++i) {
     if (parent_metrics != nullptr) {
@@ -82,11 +91,17 @@ void TrialRunner::run(std::size_t trials,
       trial_tracers[i] =
           std::make_unique<obs::TraceRecorder>(options_.trace_capacity);
     }
+    if (parent_flight != nullptr) {
+      obs::FlightRecorder::Options fopts;
+      fopts.ring = options_.flight_ring;  // in-memory; no path, no spill
+      trial_flights[i] = std::make_unique<obs::FlightRecorder>(fopts);
+    }
   }
 
   const auto run_one = [&](std::size_t i) {
     const TrialContext ctx{i, seeds_.seed_for(i)};
-    ScopedTrialSinks sinks(trial_metrics[i].get(), trial_tracers[i].get());
+    ScopedTrialSinks sinks(trial_metrics[i].get(), trial_tracers[i].get(),
+                           trial_flights[i].get());
     try {
       fn(ctx);
     } catch (...) {
@@ -124,6 +139,16 @@ void TrialRunner::run(std::size_t trials,
     }
     if (trial_tracers[i] != nullptr) {
       parent_tracer->append_from(*trial_tracers[i]);
+    }
+    if (trial_flights[i] != nullptr) {
+      // The trial-begin marker is emitted here, by the parent, rather than
+      // inside the trial: in ring mode it would be the trial's OLDEST
+      // record and the first one overwritten, losing the stream's trial
+      // boundaries exactly when the auditor needs them.
+      parent_flight->record(obs::FlightKind::kTrialBegin, Time::zero(),
+                            static_cast<std::uint64_t>(i),
+                            static_cast<int>(i), seeds_.seed_for(i));
+      parent_flight->append_from(*trial_flights[i]);
     }
   }
 

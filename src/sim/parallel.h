@@ -44,6 +44,11 @@ struct TrialRunnerOptions {
   // Ring capacity of each per-trial TraceRecorder (only allocated when
   // the calling thread has a recorder installed).
   std::size_t trace_capacity = 1u << 20;
+  // Ring capacity of each per-trial FlightRecorder (only created when the
+  // calling thread has one installed; see obs/flight/recorder.h). 0
+  // retains each trial's full stream in memory until the submission-order
+  // merge; pass the session's --flight ring value to bound it.
+  std::size_t flight_ring = 0;
 };
 
 class TrialRunner {

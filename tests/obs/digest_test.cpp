@@ -1,0 +1,124 @@
+#include "obs/digest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace satin::obs {
+namespace {
+
+// Full-state equality: permutation invariance is asserted on the raw
+// counts, not just the derived quantiles.
+void expect_same_state(const QuantileDigest& a, const QuantileDigest& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.underflow(), b.underflow());
+  EXPECT_EQ(a.overflow(), b.overflow());
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+  EXPECT_EQ(a.buckets(), b.buckets());
+}
+
+TEST(QuantileDigestTest, EmptyDigestReadsAsZero) {
+  QuantileDigest d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.min(), 0.0);
+  EXPECT_DOUBLE_EQ(d.max(), 0.0);
+  EXPECT_DOUBLE_EQ(d.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(d.p99(), 0.0);
+}
+
+TEST(QuantileDigestTest, TracksExactMinAndMax) {
+  QuantileDigest d;
+  d.observe(3.5);
+  d.observe(0.125);
+  d.observe(8000.0);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_DOUBLE_EQ(d.min(), 0.125);
+  EXPECT_DOUBLE_EQ(d.max(), 8000.0);
+}
+
+TEST(QuantileDigestTest, QuantilesWithinBucketRelativeError) {
+  // The grid has 8 sub-buckets per octave: any reconstructed quantile must
+  // sit within one bucket (~9% relative) of the true order statistic.
+  QuantileDigest d;
+  std::vector<double> values;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(1e-6, 1e3);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist(rng);
+    values.push_back(v);
+    d.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const double approx = d.quantile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.10) << "q=" << q;
+  }
+  EXPECT_LE(d.quantile(1.0), d.max());
+  EXPECT_GE(d.quantile(0.0), d.min());
+}
+
+TEST(QuantileDigestTest, OutOfRangeValuesLandInEdgeBins) {
+  QuantileDigest d;
+  d.observe(-1.0);  // negative -> underflow
+  d.observe(0.0);   // zero -> underflow
+  d.observe(std::numeric_limits<double>::infinity());   // -> overflow
+  d.observe(std::numeric_limits<double>::quiet_NaN());  // -> overflow
+  EXPECT_EQ(d.underflow(), 2u);
+  EXPECT_EQ(d.overflow(), 2u);
+  EXPECT_EQ(d.count(), 4u);
+  // No bucket counts: everything was out of grid range.
+  for (std::uint64_t b : d.buckets()) EXPECT_EQ(b, 0u);
+}
+
+TEST(QuantileDigestTest, MergeIsPermutationInvariant) {
+  // Three shards with overlapping ranges; every merge order must yield a
+  // bit-identical digest (integer adds + commutative min/max).
+  std::vector<QuantileDigest> shards(3);
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(1e-3, 1e6);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (int i = 0; i < 1000; ++i) shards[s].observe(dist(rng));
+  }
+
+  std::vector<std::size_t> order = {0, 1, 2};
+  QuantileDigest reference;
+  for (std::size_t s : order) reference.merge_from(shards[s]);
+  while (std::next_permutation(order.begin(), order.end())) {
+    QuantileDigest merged;
+    for (std::size_t s : order) merged.merge_from(shards[s]);
+    expect_same_state(reference, merged);
+  }
+}
+
+TEST(QuantileDigestTest, MergeMatchesDirectObservation) {
+  QuantileDigest direct, a, b;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = static_cast<double>(i) * 0.37;
+    direct.observe(v);
+    (i % 2 == 0 ? a : b).observe(v);
+  }
+  QuantileDigest merged;
+  merged.merge_from(a);
+  merged.merge_from(b);
+  expect_same_state(direct, merged);
+}
+
+TEST(QuantileDigestTest, MergeFromEmptyIsIdentity) {
+  QuantileDigest d, empty;
+  d.observe(2.0);
+  d.observe(4.0);
+  QuantileDigest copy_state;
+  copy_state.merge_from(d);
+  d.merge_from(empty);
+  expect_same_state(d, copy_state);
+}
+
+}  // namespace
+}  // namespace satin::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -111,12 +112,85 @@ TEST(MetricsRegistryTest, SnapshotContainsAllSections) {
   EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, VolatileGaugesSkippedInStableSnapshot) {
+  MetricsRegistry reg;
+  reg.gauge("engine.wall_seconds").set(1.25);
+  reg.gauge("engine.wall_seconds").mark_volatile();
+  reg.gauge("engine.events_fired").set(42.0);
+  const std::string full = reg.to_json(/*include_volatile=*/true);
+  const std::string stable = reg.to_json(/*include_volatile=*/false);
+  EXPECT_NE(full.find("engine.wall_seconds"), std::string::npos);
+  EXPECT_EQ(stable.find("engine.wall_seconds"), std::string::npos);
+  EXPECT_NE(stable.find("engine.events_fired"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, MergePropagatesVolatileFlag) {
+  MetricsRegistry trial;
+  trial.gauge("engine.wall_seconds").set(0.5);
+  trial.gauge("engine.wall_seconds").mark_volatile();
+  MetricsRegistry session;
+  session.merge_from(trial);
+  const std::string stable = session.to_json(/*include_volatile=*/false);
+  EXPECT_EQ(stable.find("engine.wall_seconds"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DigestSectionInSnapshot) {
+  MetricsRegistry reg;
+  reg.digest("scan.lat_s").observe(0.5);
+  reg.digest("scan.lat_s").observe(2.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"digests\""), std::string::npos);
+  EXPECT_NE(json.find("\"scan.lat_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, MergeOrderPermutationsYieldIdenticalSnapshots) {
+  // The cross-trial aggregation contract: merging per-trial registries in
+  // ANY order must produce the same snapshot for counters, digest state
+  // and histogram bucket counts. (Histogram Welford moments are only
+  // guaranteed for a fixed order, which is why the runner merges in
+  // submission order; the digest section has no such caveat.)
+  std::vector<MetricsRegistry> trials(3);
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    trials[t].counter("satin.rounds").inc(10 * (t + 1));
+    for (int i = 0; i < 50; ++i) {
+      trials[t].digest("introspect.scan_s")
+          .observe(1e-3 * static_cast<double>(i + 1) *
+                   static_cast<double>(t + 1));
+      trials[t].histogram("introspect.lat_s", {0.01, 0.1, 1.0})
+          .observe(1e-2 * static_cast<double>(i % 7));
+    }
+  }
+
+  std::vector<std::size_t> order = {0, 1, 2};
+  MetricsRegistry reference;
+  for (std::size_t t : order) reference.merge_from(trials[t]);
+  while (std::next_permutation(order.begin(), order.end())) {
+    MetricsRegistry merged;
+    for (std::size_t t : order) merged.merge_from(trials[t]);
+    EXPECT_EQ(merged.counter("satin.rounds").value(),
+              reference.counter("satin.rounds").value());
+    const QuantileDigest* d = merged.find_digest("introspect.scan_s");
+    const QuantileDigest* ref_d = reference.find_digest("introspect.scan_s");
+    ASSERT_NE(d, nullptr);
+    ASSERT_NE(ref_d, nullptr);
+    EXPECT_EQ(d->buckets(), ref_d->buckets());
+    EXPECT_EQ(d->count(), ref_d->count());
+    EXPECT_DOUBLE_EQ(d->min(), ref_d->min());
+    EXPECT_DOUBLE_EQ(d->max(), ref_d->max());
+    EXPECT_EQ(merged.find_histogram("introspect.lat_s")->counts(),
+              reference.find_histogram("introspect.lat_s")->counts());
+  }
+}
+
 TEST(MetricsMacroTest, MacrosNoOpWithoutRegistry) {
   install_metrics(nullptr);
   SATIN_METRIC_INC("m.a");
   SATIN_METRIC_ADD("m.b", 7);
   SATIN_METRIC_GAUGE_SET("m.c", 1.0);
   SATIN_METRIC_OBSERVE("m.d", 0.5);
+  SATIN_METRIC_DIGEST_OBSERVE("m.e", 0.5);
   SUCCEED();
 }
 
@@ -127,6 +201,7 @@ TEST(MetricsMacroTest, MacrosEmitIntoInstalledRegistry) {
   SATIN_METRIC_ADD("m.a", 9);
   SATIN_METRIC_GAUGE_SET("m.g", 4.25);
   SATIN_METRIC_OBSERVE("m.h", 0.5);
+  SATIN_METRIC_DIGEST_OBSERVE("m.q", 0.25);
   install_metrics(nullptr);
   SATIN_METRIC_INC("m.a");  // after uninstall: must not land
 
@@ -134,6 +209,7 @@ TEST(MetricsMacroTest, MacrosEmitIntoInstalledRegistry) {
   EXPECT_EQ(reg.find_counter("m.a")->value(), 10u);
   EXPECT_DOUBLE_EQ(reg.find_gauge("m.g")->value(), 4.25);
   EXPECT_EQ(reg.find_histogram("m.h")->moments().count(), 1u);
+  EXPECT_EQ(reg.find_digest("m.q")->count(), 1u);
 #else
   EXPECT_EQ(reg.find_counter("m.a"), nullptr);
 #endif

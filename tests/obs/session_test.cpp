@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight/audit.h"
 #include "sim/engine.h"
 
 namespace satin::obs {
@@ -79,6 +80,84 @@ TEST(ObsSessionTest, FlushWithEngineAddsSelfMetrics) {
   const std::string metrics_json = slurp(session.metrics_path());
   EXPECT_NE(metrics_json.find("engine.events_fired"), std::string::npos);
   EXPECT_NE(metrics_json.find("engine.wall_s_per_sim_s"), std::string::npos);
+}
+
+TEST(ObsSessionTest, FlightFlagRecordsEngineCommits) {
+  const std::string path = testing::TempDir() + "session_flight.bin";
+  Argv argv({"prog", "--flight=" + path, "-k"});
+  sim::Engine engine;
+  {
+    ObsSession session(argv.argc, argv.ptrs.data());
+#if SATIN_OBS_ENABLED
+    ASSERT_TRUE(session.flight_enabled());
+    EXPECT_EQ(session.flight_path(), path);
+    EXPECT_EQ(session.flight_ring(), 0u);
+    EXPECT_EQ(flight(), session.flight_recorder());
+#endif
+    ASSERT_EQ(argv.argc, 2);
+    EXPECT_STREQ(argv.ptrs[1], "-k");
+    for (int i = 1; i <= 5; ++i) {
+      engine.schedule_at(sim::Time::from_ms(i), [] {});
+    }
+    engine.run_all();
+    EXPECT_TRUE(session.flush(&engine));
+  }
+  EXPECT_EQ(flight(), nullptr);
+#if SATIN_OBS_ENABLED
+  {
+    FlightLog log;
+    ASSERT_TRUE(read_flight_log(path, log));
+    EXPECT_TRUE(log.has_footer);
+    EXPECT_EQ(log.commits, 5u);
+    for (const FlightRecord& r : log.records) {
+      EXPECT_EQ(r.kind, static_cast<std::uint16_t>(FlightKind::kDispatch));
+    }
+  }
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(ObsSessionTest, FlightRingSpecParsed) {
+  const std::string path = testing::TempDir() + "session_flight_ring.bin";
+  Argv argv({"prog", "--flight=" + path + ",ring=128"});
+  ObsSession session(argv.argc, argv.ptrs.data());
+#if SATIN_OBS_ENABLED
+  EXPECT_TRUE(session.flight_enabled());
+  EXPECT_EQ(session.flight_path(), path);
+  EXPECT_EQ(session.flight_ring(), 128u);
+  EXPECT_TRUE(session.flight_recorder()->ring_mode());
+#endif
+  session.flush();
+  std::remove(path.c_str());
+}
+
+TEST(ObsSessionTest, MetricsStableDropsVolatileGauges) {
+  const std::string with_wall = testing::TempDir() + "session_vol.json";
+  const std::string stable = testing::TempDir() + "session_stable.json";
+  sim::Engine engine;
+  engine.schedule_at(sim::Time::from_ms(1), [] {});
+  engine.run_all();
+  {
+    Argv argv({"prog", "--metrics=" + with_wall});
+    ObsSession session(argv.argc, argv.ptrs.data());
+    EXPECT_FALSE(session.metrics_stable());
+    session.flush(&engine);
+  }
+  {
+    Argv argv({"prog", "--metrics=" + stable, "--metrics-stable"});
+    ObsSession session(argv.argc, argv.ptrs.data());
+    EXPECT_TRUE(session.metrics_stable());
+    EXPECT_EQ(argv.argc, 1);  // the bare switch is stripped too
+    session.flush(&engine);
+  }
+  const std::string full_json = slurp(with_wall);
+  const std::string stable_json = slurp(stable);
+  EXPECT_NE(full_json.find("engine.wall_seconds"), std::string::npos);
+  EXPECT_EQ(stable_json.find("engine.wall_seconds"), std::string::npos);
+  EXPECT_EQ(stable_json.find("engine.pool_high_water"), std::string::npos);
+  EXPECT_NE(stable_json.find("engine.events_fired"), std::string::npos);
+  std::remove(with_wall.c_str());
+  std::remove(stable.c_str());
 }
 
 TEST(ObsSessionTest, MetricsOnlyRunWritesNoTrace) {

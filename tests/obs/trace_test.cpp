@@ -39,6 +39,43 @@ TEST(TraceRecorderTest, RingWrapsOverwritingOldest) {
   EXPECT_STREQ(events[3].name, "e5");
 }
 
+TEST(TraceRecorderTest, AppendFromWrappedRingKeepsRecordingOrder) {
+  // A wrapped source ring must merge in recording order (oldest first),
+  // not in raw storage order — the TrialRunner relies on this when a
+  // trial overflows its per-trial ring.
+  TraceRecorder src(4);
+  static const char* kNames[] = {"e0", "e1", "e2", "e3", "e4", "e5"};
+  for (int i = 0; i < 6; ++i) {
+    src.instant("t", kNames[i], at_us(i), 0, kWorldNone);
+  }
+  TraceRecorder dst(16);
+  dst.instant("t", "pre", at_us(100), 0, kWorldNone);
+  dst.append_from(src);
+  const auto events = dst.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_STREQ(events[0].name, "pre");
+  EXPECT_STREQ(events[1].name, "e2");
+  EXPECT_STREQ(events[4].name, "e5");
+}
+
+TEST(TraceRecorderTest, AppendFromRotatesWhenTargetOverflows) {
+  // Merging more events than the target holds rotates the target ring:
+  // the newest events survive and the drop count records the loss.
+  TraceRecorder src(8);
+  static const char* kNames[] = {"m0", "m1", "m2", "m3", "m4", "m5"};
+  for (int i = 0; i < 6; ++i) {
+    src.instant("t", kNames[i], at_us(i), 0, kWorldNone);
+  }
+  TraceRecorder dst(4);
+  dst.append_from(src);
+  EXPECT_EQ(dst.size(), 4u);
+  EXPECT_EQ(dst.dropped(), 2u);
+  const auto events = dst.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "m2");
+  EXPECT_STREQ(events[3].name, "m5");
+}
+
 TEST(TraceRecorderTest, ClearResetsRingAndDropCount) {
   TraceRecorder rec(2);
   for (int i = 0; i < 5; ++i) rec.instant("t", "x", at_us(i), 0, kWorldNone);
