@@ -117,18 +117,14 @@ int main(int argc, char** argv) {
                    std::string(kDefaultStormBody);
           }
         }
-        scenario::Scenario system(scenario_config);
-        const auto injector = fault::install_from_spec(system.platform(), spec);
+        const scenario::SingleDuelResult result =
+            scenario::run_single_duel(scenario_config, duel, spec);
         ReplicaOutcome out;
-        out.report = scenario::run_duel(system, duel);
-        out.injected = injector ? injector->injected_total() : 0;
+        out.report = result.report;
+        out.injected = result.faults_injected;
         out.ok = out.report.rounds >= duel.rounds_target &&
                  out.report.target_always_flagged() &&
                  out.report.benign_confirmed_alarms == 0;
-        if (auto* registry = obs::metrics()) {
-          obs::snapshot_engine_metrics(system.engine(), *registry,
-                                       /*include_wall=*/false);
-        }
         return out;
       });
 

@@ -26,6 +26,18 @@ out="${OUT:-$repo/BENCH_pr6.json}"
 auto_baseline="$(ls -1v "$repo"/BENCH_pr*.json 2>/dev/null |
                  grep -vFx "$out" | tail -1 || true)"
 baseline="${BASELINE:-$auto_baseline}"
+# Fail loudly on an unparseable baseline instead of emitting a silently
+# empty delta table: a truncated or hand-mangled BENCH_pr*.json would
+# otherwise read as "no baseline, nothing to compare".
+if [ -n "$baseline" ] && [ -f "$baseline" ]; then
+  if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$baseline" \
+      2>/tmp/baseline_parse_err; then
+    echo "run_benches.sh: baseline $baseline is not valid JSON:" >&2
+    sed 's/^/  /' /tmp/baseline_parse_err >&2
+    echo "fix or delete it, or point BASELINE= at a good record" >&2
+    exit 1
+  fi
+fi
 clean_rounds="${CLEAN_ROUNDS:-1900}"
 if [ "${1:-}" = "--local" ]; then
   out="${OUT:-$repo/BENCH_local.json}"

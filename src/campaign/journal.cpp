@@ -1,0 +1,220 @@
+#include "campaign/journal.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace satin::campaign {
+
+namespace {
+
+constexpr char kHeaderMagic[] = "SATNCAMP1";
+
+std::string header_line(std::uint64_t spec_hash, std::uint64_t trials,
+                        std::uint64_t root_seed) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%s spec=%016" PRIx64 " trials=%" PRIu64 " root_seed=%" PRIu64,
+                kHeaderMagic, spec_hash, trials, root_seed);
+  return buf;
+}
+
+bool parse_header(const std::string& line, CampaignJournal::Status& out) {
+  unsigned long long spec = 0, trials = 0, root_seed = 0;
+  char magic[16] = {};
+  if (std::sscanf(line.c_str(), "%15s spec=%llx trials=%llu root_seed=%llu",
+                  magic, &spec, &trials, &root_seed) != 4) {
+    return false;
+  }
+  if (std::strcmp(magic, kHeaderMagic) != 0) return false;
+  out.spec_hash = spec;
+  out.trials = trials;
+  out.root_seed = root_seed;
+  return true;
+}
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Reads the whole file; returns false only on I/O errors (a missing file
+// is reported via `exists`).
+bool slurp(const std::string& path, std::string& out, bool& exists) {
+  out.clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    exists = false;
+    return true;
+  }
+  exists = true;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool flush_and_sync(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#ifndef _WIN32
+  if (fsync(fileno(f)) != 0) return false;
+#endif
+  return true;
+}
+
+}  // namespace
+
+CampaignJournal::~CampaignJournal() { close(); }
+
+void CampaignJournal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool CampaignJournal::open(const std::string& path, const CampaignSpec& spec,
+                           std::string* error) {
+  close();
+  completed_.clear();
+  quarantined_ = 0;
+  appended_ = 0;
+  path_ = path;
+
+  std::string text;
+  bool exists = false;
+  if (!slurp(path, text, exists)) {
+    return set_error(error, path + ": read error");
+  }
+
+  const std::string expected_header =
+      header_line(spec.content_hash(), spec.trials, spec.root_seed);
+
+  if (exists && !text.empty()) {
+    // Replay. Split on '\n'; a final fragment without a newline is the
+    // torn tail of a killed append — quarantine it, the trial re-runs.
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos < text.size()) {
+      const std::size_t nl = text.find('\n', pos);
+      const bool torn = nl == std::string::npos;
+      const std::string line =
+          text.substr(pos, torn ? std::string::npos : nl - pos);
+      pos = torn ? text.size() : nl + 1;
+      if (first) {
+        first = false;
+        Status header;
+        if (torn || !parse_header(line, header)) {
+          return set_error(error, path + ": corrupt journal header");
+        }
+        if (line != expected_header) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        ": journal belongs to a different campaign "
+                        "(spec=%016" PRIx64 " trials=%" PRIu64
+                        " root_seed=%" PRIu64 ")",
+                        header.spec_hash, header.trials, header.root_seed);
+          return set_error(error, path + buf);
+        }
+        continue;
+      }
+      if (line.empty()) continue;
+      TrialResult result;
+      if (torn || !decode_trial_record(line, result) ||
+          result.index >= spec.trials) {
+        ++quarantined_;
+        continue;
+      }
+      completed_.emplace(result.index, result);  // first record wins
+    }
+  }
+
+  // A torn tail was quarantined above, but it is also still physically at
+  // the end of the file — appending after it would glue the next record
+  // onto the fragment and corrupt BOTH. Cut the file back to the last
+  // complete line before reopening for append.
+  if (exists && !text.empty() && text.back() != '\n') {
+#ifndef _WIN32
+    const std::size_t last_nl = text.rfind('\n');
+    const std::size_t keep = last_nl == std::string::npos ? 0 : last_nl + 1;
+    if (::truncate(path.c_str(), static_cast<off_t>(keep)) != 0) {
+      return set_error(error, path + ": cannot trim torn tail");
+    }
+#endif
+  }
+
+  file_ = std::fopen(path.c_str(), exists ? "ab" : "wb");
+  if (file_ == nullptr) {
+    return set_error(error, path + ": cannot open for append");
+  }
+  if (!exists || text.empty()) {
+    const std::string header = expected_header + "\n";
+    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+        !flush_and_sync(file_)) {
+      close();
+      return set_error(error, path + ": cannot write header");
+    }
+  }
+  return true;
+}
+
+bool CampaignJournal::append(const TrialResult& result) {
+  if (file_ == nullptr) return false;
+  const std::string line = encode_trial_record(result) + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return false;
+  }
+  if (!flush_and_sync(file_)) return false;
+  completed_.emplace(result.index, result);
+  ++appended_;
+  return true;
+}
+
+bool CampaignJournal::read_status(const std::string& path, Status& out,
+                                  std::string* error) {
+  out = Status{};
+  std::string text;
+  bool exists = false;
+  if (!slurp(path, text, exists)) {
+    return set_error(error, path + ": read error");
+  }
+  if (!exists) return set_error(error, path + ": no such journal");
+  if (text.empty()) return set_error(error, path + ": empty journal");
+
+  std::set<std::uint64_t> seen;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const bool torn = nl == std::string::npos;
+    const std::string line =
+        text.substr(pos, torn ? std::string::npos : nl - pos);
+    pos = torn ? text.size() : nl + 1;
+    if (first) {
+      first = false;
+      if (torn || !parse_header(line, out)) {
+        return set_error(error, path + ": corrupt journal header");
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    TrialResult result;
+    if (torn || !decode_trial_record(line, result) ||
+        result.index >= out.trials) {
+      ++out.quarantined;
+    } else {
+      seen.insert(result.index);
+    }
+  }
+  out.completed = seen.size();
+  return true;
+}
+
+}  // namespace satin::campaign

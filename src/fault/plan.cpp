@@ -1,6 +1,8 @@
 #include "fault/plan.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -51,17 +53,37 @@ std::string strip(const std::string& text) {
 double parse_number(const std::string& text, const std::string& token) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (end == text.c_str()) bad("expected a number, got '" + text + "'", token);
+  if (end == text.c_str() || *end != '\0') {
+    bad("expected a number, got '" + text + "'", token);
+  }
+  if (!std::isfinite(value)) bad("non-finite number '" + text + "'", token);
   return value;
 }
 
 long parse_long(const std::string& text, const std::string& token) {
   char* end = nullptr;
+  errno = 0;
   const long value = std::strtol(text.c_str(), &end, 10);
   if (end == text.c_str() || *end != '\0') {
     bad("expected an integer, got '" + text + "'", token);
   }
+  if (errno == ERANGE || value > 2147483647L || value < -2147483648L) {
+    bad("integer out of range '" + text + "'", token);
+  }
   return value;
+}
+
+std::uint64_t parse_seed(const std::string& text, const std::string& token) {
+  if (text.empty()) bad("empty seed value", token);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+  if (end == text.c_str() || *end != '\0') {
+    bad("expected a seed integer, got '" + text + "'", token);
+  }
+  if (errno == ERANGE) bad("seed out of range '" + text + "'", token);
+  if (text[0] == '-') bad("negative seed '" + text + "'", token);
+  return static_cast<std::uint64_t>(value);
 }
 
 }  // namespace
@@ -88,21 +110,43 @@ const char* to_string(FaultKind kind) {
 
 sim::Duration parse_duration(const std::string& text) {
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(text.c_str(), &end);
   if (end == text.c_str()) {
     throw std::invalid_argument("FaultPlan: expected a duration, got '" +
                                 text + "'");
   }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    throw std::invalid_argument("FaultPlan: duration out of range in '" +
+                                text + "'");
+  }
   const std::string unit = strip(end);
+  double unit_ps = 0.0;
+  if (unit.empty() || unit == "s") {
+    unit_ps = 1e12;
+  } else if (unit == "ms") {
+    unit_ps = 1e9;
+  } else if (unit == "us") {
+    unit_ps = 1e6;
+  } else if (unit == "ns") {
+    unit_ps = 1e3;
+  } else if (unit == "ps") {
+    unit_ps = 1.0;
+  } else {
+    throw std::invalid_argument("FaultPlan: unknown time unit '" + unit +
+                                "' in '" + text + "'");
+  }
+  // The picosecond tick count must fit an int64; llround on an
+  // out-of-range double is undefined, so guard before converting.
+  if (std::fabs(value) > 9.2e18 / unit_ps) {
+    throw std::invalid_argument("FaultPlan: duration out of range in '" +
+                                text + "'");
+  }
   if (unit.empty() || unit == "s") return sim::Duration::from_sec_f(value);
   if (unit == "ms") return sim::Duration::from_ms_f(value);
   if (unit == "us") return sim::Duration::from_us_f(value);
   if (unit == "ns") return sim::Duration::from_ns_f(value);
-  if (unit == "ps") {
-    return sim::Duration::from_ps(static_cast<std::int64_t>(value));
-  }
-  throw std::invalid_argument("FaultPlan: unknown time unit '" + unit +
-                              "' in '" + text + "'");
+  return sim::Duration::from_ps(static_cast<std::int64_t>(value));
 }
 
 std::string format_duration(sim::Duration d) {
@@ -151,8 +195,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     const std::string item = strip(raw);
     if (item.empty()) continue;
     if (item.rfind("seed=", 0) == 0) {
-      plan.seed = static_cast<std::uint64_t>(
-          std::strtoull(item.c_str() + 5, nullptr, 0));
+      plan.seed = parse_seed(item.substr(5), item);
       continue;
     }
     const std::vector<std::string> parts = split(item, ':');
@@ -166,6 +209,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     fault.kind = kind_from(head.substr(0, at), item);
     fault.start =
         sim::Time::zero() + parse_duration(head.substr(at + 1, plus - at - 1));
+    if (fault.start < sim::Time::zero()) bad("negative window start", item);
     fault.duration = parse_duration(head.substr(plus + 1));
     if (fault.duration <= sim::Duration::zero()) {
       bad("non-positive window duration", item);

@@ -1,8 +1,23 @@
 #include "obs/digest.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace satin::obs {
+
+void QuantileDigest::restore(const std::vector<std::uint64_t>& buckets,
+                             std::uint64_t underflow, std::uint64_t overflow,
+                             std::uint64_t count, double min, double max) {
+  if (buckets.size() != kBuckets) {
+    throw std::invalid_argument("QuantileDigest::restore: bucket count");
+  }
+  buckets_ = buckets;
+  underflow_ = underflow;
+  overflow_ = overflow;
+  count_ = count;
+  min_ = min;
+  max_ = max;
+}
 
 void QuantileDigest::merge_from(const QuantileDigest& other) {
   if (other.count_ == 0) return;

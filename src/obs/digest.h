@@ -84,6 +84,13 @@ class QuantileDigest {
   std::uint64_t underflow() const { return underflow_; }
   std::uint64_t overflow() const { return overflow_; }
 
+  // Exact-state restore for binary (de)serialization across process
+  // boundaries; a restored digest merges bit-identically to the original.
+  // `buckets` must have exactly kBuckets entries (throws otherwise).
+  void restore(const std::vector<std::uint64_t>& buckets,
+               std::uint64_t underflow, std::uint64_t overflow,
+               std::uint64_t count, double min, double max);
+
  private:
   static double bucket_midpoint(std::size_t index);
 

@@ -14,9 +14,26 @@ bool read_flight_log(const std::string& path, FlightLog& out,
     if (error != nullptr) *error = "cannot open " + path;
     return false;
   }
+  // Distinguish the boring corruptions a fleet actually produces — empty
+  // file from a crashed open, truncated header from a torn copy, foreign
+  // bytes — so the operator reads the cause, not "bad file". Only the
+  // bytes actually read are ever inspected.
   unsigned char header[kFlightHeaderBytes];
-  if (std::fread(header, 1, sizeof(header), f) != sizeof(header) ||
-      std::memcmp(header, kFlightMagic, sizeof(kFlightMagic)) != 0) {
+  const std::size_t header_n = std::fread(header, 1, sizeof(header), f);
+  if (header_n == 0) {
+    if (error != nullptr) *error = path + ": empty file (zero-length recording)";
+    std::fclose(f);
+    return false;
+  }
+  if (header_n < sizeof(header)) {
+    if (error != nullptr) {
+      *error = path + ": truncated header (" + std::to_string(header_n) +
+               " of " + std::to_string(sizeof(header)) + " bytes)";
+    }
+    std::fclose(f);
+    return false;
+  }
+  if (std::memcmp(header, kFlightMagic, sizeof(kFlightMagic)) != 0) {
     if (error != nullptr) *error = path + ": not a flight recording";
     std::fclose(f);
     return false;
@@ -60,6 +77,14 @@ bool read_flight_log(const std::string& path, FlightLog& out,
   }
   std::fclose(f);
   return true;
+}
+
+void replay_flight_log(const FlightLog& log, FlightRecorder& out) {
+  for (const FlightRecord& rec : log.records) {
+    out.record(static_cast<FlightKind>(rec.kind), sim::Time::from_ps(rec.t_ps),
+               rec.seq, rec.actor, rec.payload);
+  }
+  out.note_dropped(log.dropped);
 }
 
 FlightStats compute_flight_stats(const FlightLog& log) {

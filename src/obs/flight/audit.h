@@ -35,10 +35,20 @@ struct FlightLog {
 };
 
 // Loads a recording; returns false (and sets *error when given) on a
-// missing file, bad magic/version or a torn record. A missing footer is
-// tolerated (has_footer = false) so crashed runs still dump.
+// missing file, zero-length or truncated-header file, bad magic/version
+// or a torn record — each with a distinct diagnostic naming the cause. A
+// missing footer is tolerated (has_footer = false) so crashed runs still
+// dump.
 bool read_flight_log(const std::string& path, FlightLog& out,
                      std::string* error = nullptr);
+
+// Re-records a loaded log into `out` in commit order and folds the log's
+// drop count; record-for-record this reproduces the chain-hash evolution
+// the original commits produced. The campaign supervisor uses this to
+// merge per-trial flight files (written by worker processes) into the
+// session stream in trial-index order — the cross-process analogue of
+// FlightRecorder::append_from.
+void replay_flight_log(const FlightLog& log, FlightRecorder& out);
 
 struct FlightStats {
   std::uint64_t total = 0;

@@ -107,6 +107,10 @@ class FlightRecorder {
   // submission order, bracketed by kTrialBegin markers it emits itself.
   void append_from(const FlightRecorder& other);
 
+  // Folds drops that happened outside this recorder (e.g. a replayed
+  // per-trial file whose footer recorded ring overwrites).
+  void note_dropped(std::uint64_t n) { dropped_ += n; }
+
   // Records ever committed to this recorder (including spilled/overwritten).
   std::uint64_t commits() const { return commits_; }
   // Ring overwrites (oldest records lost), plus drops folded by append_from.

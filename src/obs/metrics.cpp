@@ -103,6 +103,15 @@ void Histogram::merge_from(const Histogram& other) {
   acc_.merge(other.acc_);
 }
 
+void Histogram::restore(const std::vector<std::uint64_t>& counts,
+                        const sim::Accumulator::State& moments) {
+  if (counts.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::restore: bucket count");
+  }
+  counts_ = counts;
+  acc_.restore(moments);
+}
+
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;

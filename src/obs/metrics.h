@@ -67,6 +67,11 @@ class Histogram {
   // the bucket bounds must match exactly (throws otherwise).
   void merge_from(const Histogram& other);
 
+  // Exact-state restore for binary (de)serialization; `counts` must have
+  // upper_bounds().size() + 1 entries (throws otherwise).
+  void restore(const std::vector<std::uint64_t>& counts,
+               const sim::Accumulator::State& moments);
+
   // Decade buckets 1e-9 .. 1e3 with a x3 midpoint each — wide enough for
   // every timescale the paper touches (ns hash steps to quarter-hour runs).
   static std::vector<double> default_time_buckets();
@@ -115,6 +120,18 @@ class MetricsRegistry {
   std::string to_json(bool include_volatile = true) const;
   bool write_json(const std::string& path,
                   bool include_volatile = true) const;
+
+  // Exact binary snapshot ("SATNMET1", little-endian, doubles as raw bit
+  // patterns): unlike to_json, a save/load round trip restores byte-exact
+  // internal state, so campaign workers can persist per-trial registries
+  // and the supervisor can merge them across the process boundary with
+  // the same bits an in-process merge would produce. save_binary writes
+  // crash-safe (temp file + rename). load_merge_binary MERGES the file
+  // into this registry (merge_from semantics); load into an empty
+  // registry to read verbatim. Returns false with *error set on any I/O
+  // or format problem — a truncated or corrupt file never half-applies.
+  bool save_binary(const std::string& path, std::string* error) const;
+  bool load_merge_binary(const std::string& path, std::string* error);
 
  private:
   std::map<std::string, Counter> counters_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/session.h"
 #include "os/system_map.h"
@@ -176,6 +177,23 @@ DuelSweep run_duel_sweep(
       });
   sweep.wall_seconds = runner.wall_seconds();
   return sweep;
+}
+
+SingleDuelResult run_single_duel(const ScenarioConfig& scenario_config,
+                                 const DuelConfig& duel,
+                                 const std::string& fault_spec) {
+  Scenario system(scenario_config);
+  const auto injector = fault::install_from_spec(system.platform(), fault_spec);
+  SingleDuelResult out;
+  out.report = run_duel(system, duel);
+  out.faults_injected = injector ? injector->injected_total() : 0;
+  // Engine self-metrics, minus host wall time: the snapshot must stay
+  // bit-identical no matter which worker (thread or process) ran it.
+  if (auto* registry = obs::metrics()) {
+    obs::snapshot_engine_metrics(system.engine(), *registry,
+                                 /*include_wall=*/false);
+  }
+  return out;
 }
 
 }  // namespace satin::scenario

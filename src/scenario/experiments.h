@@ -134,4 +134,22 @@ DuelSweep run_duel_sweep(
     const std::function<void(const sim::TrialContext&, ScenarioConfig&,
                              DuelConfig&)>& customize = {});
 
+// One fully-specified duel, start to finish: builds a Scenario from
+// `scenario_config`, arms `fault_spec` (src/fault/plan.h grammar; empty =
+// fault-free), runs the duel, and snapshots the engine's self-metrics
+// (without host wall time) into the installed metrics registry. This is
+// the unit of work a campaign trial or fault-storm replica executes —
+// everything it touches is derived from its arguments, so a call is
+// bit-identical whether it runs inline, on a worker thread, or in a
+// forked worker process. Throws std::invalid_argument on a malformed
+// fault spec.
+struct SingleDuelResult {
+  DuelReport report;
+  std::uint64_t faults_injected = 0;
+};
+
+SingleDuelResult run_single_duel(const ScenarioConfig& scenario_config,
+                                 const DuelConfig& duel,
+                                 const std::string& fault_spec = {});
+
 }  // namespace satin::scenario

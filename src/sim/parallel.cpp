@@ -13,37 +13,22 @@
 
 namespace satin::sim {
 
-namespace {
+TrialObsScope::TrialObsScope(obs::MetricsRegistry* metrics,
+                             obs::TraceRecorder* tracer,
+                             obs::FlightRecorder* flight)
+    : prev_metrics_(obs::metrics()),
+      prev_tracer_(obs::tracer()),
+      prev_flight_(obs::flight()) {
+  obs::install_metrics(metrics);
+  obs::install_tracer(tracer);
+  obs::install_flight(flight);
+}
 
-// Installs per-trial obs sinks into this thread's slots for the duration
-// of one trial; restores whatever the thread had on exit (workers hold
-// null, the inline jobs=1 path holds the caller's session sinks).
-class ScopedTrialSinks {
- public:
-  ScopedTrialSinks(obs::MetricsRegistry* metrics, obs::TraceRecorder* tracer,
-                   obs::FlightRecorder* flight)
-      : prev_metrics_(obs::metrics()),
-        prev_tracer_(obs::tracer()),
-        prev_flight_(obs::flight()) {
-    obs::install_metrics(metrics);
-    obs::install_tracer(tracer);
-    obs::install_flight(flight);
-  }
-  ~ScopedTrialSinks() {
-    obs::install_metrics(prev_metrics_);
-    obs::install_tracer(prev_tracer_);
-    obs::install_flight(prev_flight_);
-  }
-  ScopedTrialSinks(const ScopedTrialSinks&) = delete;
-  ScopedTrialSinks& operator=(const ScopedTrialSinks&) = delete;
-
- private:
-  obs::MetricsRegistry* prev_metrics_;
-  obs::TraceRecorder* prev_tracer_;
-  obs::FlightRecorder* prev_flight_;
-};
-
-}  // namespace
+TrialObsScope::~TrialObsScope() {
+  obs::install_metrics(prev_metrics_);
+  obs::install_tracer(prev_tracer_);
+  obs::install_flight(prev_flight_);
+}
 
 TrialRunner::TrialRunner(TrialRunnerOptions options)
     : options_(options), seeds_(options.root_seed) {}
@@ -100,8 +85,8 @@ void TrialRunner::run(std::size_t trials,
 
   const auto run_one = [&](std::size_t i) {
     const TrialContext ctx{i, seeds_.seed_for(i)};
-    ScopedTrialSinks sinks(trial_metrics[i].get(), trial_tracers[i].get(),
-                           trial_flights[i].get());
+    TrialObsScope sinks(trial_metrics[i].get(), trial_tracers[i].get(),
+                        trial_flights[i].get());
     try {
       fn(ctx);
     } catch (...) {

@@ -28,11 +28,37 @@
 
 #include "sim/seed_seq.h"
 
+namespace satin::obs {
+class MetricsRegistry;
+class TraceRecorder;
+class FlightRecorder;
+}  // namespace satin::obs
+
 namespace satin::sim {
 
 struct TrialContext {
   std::size_t index = 0;    // submission order, 0-based
   std::uint64_t seed = 0;   // TrialSeedSeq::seed_for(index)
+};
+
+// Installs per-trial obs sinks into this thread's slots for the duration
+// of one trial; restores whatever the thread had on exit (pool workers
+// hold null, the inline jobs=1 path holds the caller's session sinks).
+// Shared by TrialRunner's thread workers and the campaign's forked worker
+// processes — the one mechanism that keeps a trial's recording private no
+// matter where the trial runs.
+class TrialObsScope {
+ public:
+  TrialObsScope(obs::MetricsRegistry* metrics, obs::TraceRecorder* tracer,
+                obs::FlightRecorder* flight);
+  ~TrialObsScope();
+  TrialObsScope(const TrialObsScope&) = delete;
+  TrialObsScope& operator=(const TrialObsScope&) = delete;
+
+ private:
+  obs::MetricsRegistry* prev_metrics_;
+  obs::TraceRecorder* prev_tracer_;
+  obs::FlightRecorder* prev_flight_;
 };
 
 struct TrialRunnerOptions {

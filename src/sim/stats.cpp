@@ -45,6 +45,26 @@ double Accumulator::variance() const {
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
+Accumulator::State Accumulator::state() const {
+  State s;
+  s.count = count_;
+  s.mean = mean_;
+  s.m2 = m2_;
+  s.min = min_;
+  s.max = max_;
+  s.sum = sum_;
+  return s;
+}
+
+void Accumulator::restore(const State& s) {
+  count_ = static_cast<std::size_t>(s.count);
+  mean_ = s.mean;
+  m2_ = s.m2;
+  min_ = s.min;
+  max_ = s.max;
+  sum_ = s.sum;
+}
+
 double percentile(std::vector<double> samples, double p) {
   if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: bad p");

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,21 @@ class Accumulator {
   // Sample variance / standard deviation (n-1 denominator).
   double variance() const;
   double stddev() const;
+
+  // Exact internal state, for binary serialization across process
+  // boundaries (campaign workers persist per-trial metrics and the
+  // supervisor restores them before the submission-order merge). A
+  // restore()d accumulator merges bit-identically to the original.
+  struct State {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+  };
+  State state() const;
+  void restore(const State& s);
 
  private:
   std::size_t count_ = 0;

@@ -107,6 +107,55 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
                std::invalid_argument);
 }
 
+TEST(FaultPlan, RejectsNumericEdgeCases) {
+  // Trailing junk after an otherwise-valid number.
+  EXPECT_THROW(FaultPlan::parse("timer-misfire@1s+2s:p=0.5x"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("bitflip@1s+2s:flips=3junk"),
+               std::invalid_argument);
+  // Non-finite values.
+  EXPECT_THROW(FaultPlan::parse("timer-misfire@1s+2s:p=nan"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("timer-misfire@inf+2s"),
+               std::invalid_argument);
+  // Integer overflow must be an error, not a silent wrap.
+  EXPECT_THROW(FaultPlan::parse("bitflip@1s+2s:core=99999999999999999999"),
+               std::invalid_argument);
+  // Duration overflow past the picosecond tick range.
+  EXPECT_THROW(FaultPlan::parse("bitflip@1s+1e300s"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("bitflip@1e12s+1s"), std::invalid_argument);
+  // Negative window start.
+  EXPECT_THROW(FaultPlan::parse("bitflip@-1s+2s"), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsMalformedSeeds) {
+  EXPECT_THROW(FaultPlan::parse("seed=abc,bitflip@1s+2s"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed=,bitflip@1s+2s"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed=-3,bitflip@1s+2s"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed=12x,bitflip@1s+2s"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, NumericDiagnosticsNameTheOffendingToken) {
+  const auto expect_mentions = [](const char* spec, const char* token) {
+    try {
+      FaultPlan::parse(spec);
+      FAIL() << "expected std::invalid_argument for: " << spec;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(token), std::string::npos)
+          << spec << " -> " << e.what();
+    }
+  };
+  expect_mentions("timer-misfire@1s+2s:p=0.5x", "0.5x");
+  expect_mentions("seed=abc,bitflip@1s+2s", "seed=abc");
+  expect_mentions("bitflip@1s+1e300s", "1e300s");
+  expect_mentions("bitflip@1s+2s:core=99999999999999999999",
+                  "99999999999999999999");
+}
+
 TEST(FaultPlan, ErrorMessagesNameTheOffendingItem) {
   try {
     FaultPlan::parse("timer-misfire@1s+2s,borked@3s+4s");

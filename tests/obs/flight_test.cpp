@@ -191,6 +191,63 @@ TEST(FlightAuditTest, ReaderRejectsGarbageAndTornFiles) {
   std::remove(path.c_str());
 }
 
+TEST(FlightAuditTest, ZeroLengthFileGetsADistinctDiagnostic) {
+  const std::string path = temp_path("flight_empty.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  FlightLog log;
+  std::string error;
+  EXPECT_FALSE(read_flight_log(path, log, &error));
+  // "empty file", not a generic magic complaint: the operator should see
+  // at a glance that the recording never got written, vs got damaged.
+  EXPECT_NE(error.find("empty file"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(FlightAuditTest, TruncatedHeaderReportsByteCount) {
+  const std::string path = temp_path("flight_shorthdr.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("SATNFLT", f);  // 7 bytes of a 32-byte header
+    std::fclose(f);
+  }
+  FlightLog log;
+  std::string error;
+  EXPECT_FALSE(read_flight_log(path, log, &error));
+  EXPECT_NE(error.find("truncated header"), std::string::npos) << error;
+  EXPECT_NE(error.find("7"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(FlightAuditTest, ReplayFoldsRecordsAndDrops) {
+  const std::string path = temp_path("flight_replay.bin");
+  {
+    FlightRecorder::Options opts;
+    opts.path = path;
+    opts.ring = 4;  // force drops so the footer carries a drop count
+    FlightRecorder rec(opts);
+    record_n(rec, 10);
+    ASSERT_TRUE(rec.close());
+  }
+  FlightLog log;
+  ASSERT_TRUE(read_flight_log(path, log));
+  FlightRecorder out;
+  replay_flight_log(log, out);
+  EXPECT_EQ(out.commits(), log.records.size());
+  EXPECT_EQ(out.dropped(), log.dropped);
+  const auto replayed = out.snapshot();
+  ASSERT_EQ(replayed.size(), log.records.size());
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].t_ps, log.records[i].t_ps) << i;
+    EXPECT_EQ(replayed[i].payload, log.records[i].payload) << i;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(FlightAuditTest, MissingFooterIsToleratedAsTruncated) {
   const std::string full_path = temp_path("flight_full.bin");
   const std::string cut_path = temp_path("flight_cut.bin");

@@ -1,0 +1,124 @@
+// Binary metrics snapshots ("SATNMET1"): the cross-process merge format
+// the campaign runtime rides on. The invariant under test: save in one
+// process, load_merge in another, and the merged registry snapshots
+// byte-identically to an in-process merge — doubles as raw bits, Welford
+// and digest state verbatim.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "obs/metrics.h"
+
+namespace satin::obs {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return testing::TempDir() + "/metrics_io_" + tag + ".met";
+}
+
+void populate(MetricsRegistry& registry) {
+  registry.counter("c.events").inc(41);
+  registry.counter("c.events").inc();
+  registry.gauge("g.level").set(0.1 + 0.2);  // not representable in decimal
+  Gauge& vol = registry.gauge("g.wall_s");
+  vol.set(123.456);
+  vol.mark_volatile();
+  for (int i = 0; i < 1000; ++i) {
+    registry.digest("d.lat").observe(1e-6 * i);
+    registry.histogram("h.lat").observe(1e-6 * i);
+  }
+}
+
+TEST(MetricsIo, SaveThenLoadIntoEmptyRegistryIsByteIdentical) {
+  const std::string path = temp_path("roundtrip");
+  MetricsRegistry original;
+  populate(original);
+  std::string error;
+  ASSERT_TRUE(original.save_binary(path, &error)) << error;
+
+  MetricsRegistry loaded;
+  ASSERT_TRUE(loaded.load_merge_binary(path, &error)) << error;
+  // Full snapshot, volatile gauges included: exact-state round trip.
+  EXPECT_EQ(loaded.to_json(true), original.to_json(true));
+  EXPECT_EQ(loaded.to_json(false), original.to_json(false));
+  std::remove(path.c_str());
+}
+
+TEST(MetricsIo, LoadMergesInsteadOfReplacing) {
+  const std::string path = temp_path("merge");
+  MetricsRegistry original;
+  populate(original);
+  std::string error;
+  ASSERT_TRUE(original.save_binary(path, &error)) << error;
+
+  // Loading the same snapshot twice doubles the counters — and matches
+  // an in-process merge of two identical registries.
+  MetricsRegistry twice;
+  ASSERT_TRUE(twice.load_merge_binary(path, &error)) << error;
+  ASSERT_TRUE(twice.load_merge_binary(path, &error)) << error;
+
+  MetricsRegistry a, b;
+  populate(a);
+  populate(b);
+  a.merge_from(b);
+  EXPECT_EQ(twice.to_json(true), a.to_json(true));
+  std::remove(path.c_str());
+}
+
+TEST(MetricsIo, MissingFileFailsWithClearError) {
+  MetricsRegistry registry;
+  std::string error;
+  EXPECT_FALSE(registry.load_merge_binary(temp_path("nope"), &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(MetricsIo, CorruptFileNeverHalfApplies) {
+  const std::string path = temp_path("corrupt");
+  MetricsRegistry original;
+  populate(original);
+  std::string error;
+  ASSERT_TRUE(original.save_binary(path, &error)) << error;
+
+  // Truncate mid-body: parse must fail and the target stay untouched.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, 40);
+
+  for (const long keep : {0L, 7L, size / 2, size - 3}) {
+    std::FILE* w = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(w, nullptr);
+    std::fclose(w);
+    // Re-save then truncate to `keep` bytes.
+    ASSERT_TRUE(original.save_binary(path, &error)) << error;
+    ASSERT_EQ(::truncate(path.c_str(), keep), 0);
+
+    MetricsRegistry target;
+    target.counter("pre.existing").inc(7);
+    const std::string before = target.to_json(true);
+    EXPECT_FALSE(target.load_merge_binary(path, &error)) << "keep=" << keep;
+    EXPECT_EQ(target.to_json(true), before) << "keep=" << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MetricsIo, BadMagicIsRejected) {
+  const std::string path = temp_path("magic");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTAMETRICSFILE and then some filler bytes beyond", f);
+  std::fclose(f);
+  MetricsRegistry registry;
+  std::string error;
+  EXPECT_FALSE(registry.load_merge_binary(path, &error));
+  EXPECT_NE(error.find("SATNMET1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace satin::obs

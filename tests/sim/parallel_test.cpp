@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <set>
 #include <stdexcept>
@@ -268,6 +269,66 @@ TEST(TrialRunner, ZeroTrialsIsANoOp) {
   runner.run(std::size_t{0}, [&ran](const TrialContext&) { ran = true; });
   EXPECT_FALSE(ran);
   EXPECT_EQ(runner.trials_run(), 0u);
+}
+
+TEST(TrialRunner, ZeroTrialsWithSinksInstalledIsStillANoOp) {
+  obs::MetricsRegistry registry;
+  obs::install_metrics(&registry);
+  TrialRunnerOptions options;
+  options.jobs = 4;
+  TrialRunner runner(options);
+  runner.run(std::size_t{0},
+             [](const TrialContext&) { SATIN_METRIC_INC("never"); });
+  obs::install_metrics(nullptr);
+  EXPECT_EQ(runner.trials_run(), 0u);
+  EXPECT_EQ(registry.find_counter("never"), nullptr);
+}
+
+TEST(TrialRunner, MoreJobsThanTrialsRunsEachTrialExactlyOnce) {
+  TrialRunnerOptions options;
+  options.jobs = 16;
+  TrialRunner runner(options);
+  std::array<std::atomic<int>, 3> runs{};
+  runner.run(std::size_t{3}, [&runs](const TrialContext& ctx) {
+    ++runs[ctx.index];
+  });
+  EXPECT_EQ(runner.trials_run(), 3u);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "trial " << i;
+  }
+}
+
+TEST(TrialRunner, EveryTrialFailingRethrowsTheLowestIndex) {
+  for (int jobs : {1, 8}) {
+    TrialRunnerOptions options;
+    options.jobs = jobs;
+    TrialRunner runner(options);
+    try {
+      runner.run(std::size_t{6}, [](const TrialContext& ctx) {
+        throw std::runtime_error("trial " + std::to_string(ctx.index));
+      });
+      FAIL() << "expected a rethrow (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "trial 0") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(TrialRunner, ExceptionInOneRunDoesNotPoisonTheNext) {
+  TrialRunnerOptions options;
+  options.jobs = 4;
+  TrialRunner runner(options);
+  EXPECT_THROW(runner.run(std::size_t{4},
+                          [](const TrialContext& ctx) {
+                            if (ctx.index == 2) {
+                              throw std::runtime_error("boom");
+                            }
+                          }),
+               std::runtime_error);
+  // The runner is reusable after a failed run: fresh trials all succeed.
+  std::atomic<int> ran{0};
+  runner.run(std::size_t{4}, [&ran](const TrialContext&) { ++ran; });
+  EXPECT_EQ(ran.load(), 4);
 }
 
 }  // namespace
