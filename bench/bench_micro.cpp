@@ -280,6 +280,114 @@ void BM_EventChurnScheduleCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_EventChurnScheduleCancel);
 
+// --- Draw pipeline (PR 8) ------------------------------------------------
+//
+// The duel is draw-bound (~672M truncated normals per full
+// bench_satin_detection run), so these benches measure the exact hot
+// paths --batch=K buys: the MT block refill and the batched distribution
+// kernels, each against its scalar per-draw oracle. All streams
+// preallocate their block at construction, so the steady state sits
+// under the same zero-allocation gate as the event churn benches:
+// allocs_per_draw must be exactly 0.
+
+constexpr double kDrawMean = 1.55e-4;   // cross-core delay model params
+constexpr double kDrawStddev = 3.5e-5;
+constexpr double kDrawLo = 0.95e-4;
+constexpr double kDrawHi = 2.6e-4;
+
+void BM_MtBlockRefill(benchmark::State& state) {
+  satin::sim::Mt19937_64 engine(42);
+  std::vector<std::uint64_t> block(
+      static_cast<std::size_t>(state.range(0)));
+  std::uint64_t draws = 0;
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    engine.generate_block(block.data(), block.size());
+    benchmark::DoNotOptimize(block.data());
+    draws += block.size();
+  }
+  const std::uint64_t allocs =
+      g_allocs.load(std::memory_order_relaxed) - before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(draws));
+  state.counters["allocs_per_draw"] =
+      draws > 0 ? static_cast<double>(allocs) / static_cast<double>(draws)
+                : 0.0;
+}
+BENCHMARK(BM_MtBlockRefill)->Arg(312)->Arg(4096);
+
+void BM_MtPerCallDraw(benchmark::State& state) {
+  satin::sim::Mt19937_64 engine(42);
+  std::uint64_t draws = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine());
+    ++draws;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(draws));
+}
+BENCHMARK(BM_MtPerCallDraw);
+
+// One template for every scalar-vs-batched stream pair: range(0) selects
+// the mode (0 = scalar oracle, 1 = batched block pipeline), so the two
+// rows print adjacent and the ratio reads off directly.
+template <typename Stream, typename MakeStream>
+void draw_stream_bench(benchmark::State& state, const MakeStream& make) {
+  const auto mode = state.range(0) == 0 ? satin::sim::DrawMode::kScalar
+                                        : satin::sim::DrawMode::kBatched;
+  Stream stream = make(satin::sim::Rng(1234).fork("bench"), mode);
+  // Prime one refill so batched steady state excludes construction.
+  benchmark::DoNotOptimize(stream.next());
+  std::uint64_t draws = 0;
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += stream.next();
+    ++draws;
+  }
+  benchmark::DoNotOptimize(sink);
+  const std::uint64_t allocs =
+      g_allocs.load(std::memory_order_relaxed) - before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(draws));
+  state.counters["allocs_per_draw"] =
+      draws > 0 ? static_cast<double>(allocs) / static_cast<double>(draws)
+                : 0.0;
+  state.SetLabel(state.range(0) == 0 ? "scalar" : "batched");
+}
+
+void BM_DrawTruncatedNormal(benchmark::State& state) {
+  draw_stream_bench<satin::sim::TruncatedNormalStream>(
+      state, [](satin::sim::Rng rng, satin::sim::DrawMode mode) {
+        return satin::sim::TruncatedNormalStream(
+            std::move(rng), kDrawMean, kDrawStddev, kDrawLo, kDrawHi, mode);
+      });
+}
+BENCHMARK(BM_DrawTruncatedNormal)->Arg(0)->Arg(1);
+
+void BM_DrawExponential(benchmark::State& state) {
+  draw_stream_bench<satin::sim::ExponentialStream>(
+      state, [](satin::sim::Rng rng, satin::sim::DrawMode mode) {
+        return satin::sim::ExponentialStream(std::move(rng), kDrawMean, mode);
+      });
+}
+BENCHMARK(BM_DrawExponential)->Arg(0)->Arg(1);
+
+void BM_DrawLognormal(benchmark::State& state) {
+  draw_stream_bench<satin::sim::LognormalStream>(
+      state, [](satin::sim::Rng rng, satin::sim::DrawMode mode) {
+        // The spike model's parameterization (log-median 2.3e-4, σ 0.55).
+        return satin::sim::LognormalStream(std::move(rng), -8.377,  0.55,
+                                           mode);
+      });
+}
+BENCHMARK(BM_DrawLognormal)->Arg(0)->Arg(1);
+
+void BM_DrawCanonical(benchmark::State& state) {
+  draw_stream_bench<satin::sim::CanonicalStream>(
+      state, [](satin::sim::Rng rng, satin::sim::DrawMode mode) {
+        return satin::sim::CanonicalStream(std::move(rng), mode);
+      });
+}
+BENCHMARK(BM_DrawCanonical)->Arg(0)->Arg(1);
+
 void BM_MemoryTimedWriteUnderScan(benchmark::State& state) {
   satin::hw::Memory memory(1 << 20);
   auto token =

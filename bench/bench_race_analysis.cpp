@@ -8,67 +8,92 @@
 // ~1.2 MB are caught.
 //
 // Monte-Carlo batches and duels fan out over --jobs=J workers through
-// sim::TrialRunner; the printed rows are bit-identical for any J.
+// sim::TrialRunner; the printed rows are bit-identical for any J (and,
+// for the spot duels, for any --batch=K lockstep shard size).
+#include <memory>
+
 #include "attack/evader.h"
 #include "bench/common.h"
 #include "core/race_model.h"
 #include "core/satin.h"
 #include "scenario/experiments.h"
+#include "sim/batch.h"
 #include "sim/parallel.h"
 #include "sim/stats.h"
 
 namespace satin {
 namespace {
 
-// Event-driven duel with the rootkit's trace forced to `offset`.
-bool baseline_catches_trace_at(std::size_t offset) {
-  scenario::Scenario s;
-  core::SatinConfig config =
-      core::make_pkm_baseline_config(1.0, true, true);
-  core::Satin baseline(s.platform(), s.kernel(), s.tsp(), config);
-  baseline.checker().authorize_boot_state();
+// Event-driven duel with the rootkit's trace forced to `offset`: a bare
+// evader (KProber + a rootkit whose single trace sits at the probe
+// offset) against the PKM baseline. Decomposed as a LockstepTrial so a
+// BatchRunner can interleave it with shard-mates; the --batch=1 path
+// drives the very same class to completion inline.
+class SpotDuelTrial final : public sim::LockstepTrial {
+ public:
+  SpotDuelTrial(std::size_t offset, sim::DrawMode mode, char* caught)
+      : s_(spot_config(mode)),
+        baseline_(s_.platform(), s_.kernel(), s_.tsp(),
+                  core::make_pkm_baseline_config(1.0, true, true)),
+        kit_(s_.os(), s_.platform().rng().fork("probe-kit")),
+        prober_(s_.os(), attack::KProberConfig{}),
+        caught_(caught) {
+    baseline_.checker().authorize_boot_state();
+    attack::TraceSpec trace;
+    trace.name = "probe";
+    trace.offset = offset;
+    for (int i = 0; i < 8; ++i) {
+      const auto b =
+          s_.platform().memory().read(offset + static_cast<std::size_t>(i));
+      trace.benign.push_back(b);
+      trace.malicious.push_back(static_cast<std::uint8_t>(~b));
+    }
+    kit_.add_trace(trace);
+    prober_.set_on_detect([this](hw::CoreId, sim::Time, sim::Duration) {
+      if (kit_.installed() && !kit_.recovering()) {
+        kit_.begin_recovery(hw::CoreType::kLittleA53, [this] {
+          // Recovery can outlive a short stay; re-arm once the coast clears.
+          if (!prober_.any_flagged() && !kit_.installed()) kit_.install();
+        });
+      }
+    });
+    prober_.set_on_clear([this](hw::CoreId, sim::Time) {
+      // Re-arm only once NO core looks secure-held: overlapping rounds on
+      // other cores may still be scanning.
+      if (!prober_.any_flagged() && !kit_.installed() && !kit_.recovering()) {
+        kit_.install();
+      }
+    });
+    prober_.deploy();
+    s_.run_for(sim::Duration::from_ms(10));  // prober warm-up
+    baseline_.start();
+    kit_.install();
+  }
 
-  // A bare evader: KProber + a rootkit whose single trace sits at the
-  // probe offset.
-  attack::Rootkit kit(s.os(), s.platform().rng().fork("probe-kit"));
-  attack::TraceSpec trace;
-  trace.name = "probe";
-  trace.offset = offset;
-  for (int i = 0; i < 8; ++i) {
-    const auto b =
-        s.platform().memory().read(offset + static_cast<std::size_t>(i));
-    trace.benign.push_back(b);
-    trace.malicious.push_back(static_cast<std::uint8_t>(~b));
-  }
-  kit.add_trace(trace);
-  attack::KProber prober(s.os(), attack::KProberConfig{});
-  prober.set_on_detect([&](hw::CoreId, sim::Time, sim::Duration) {
-    if (kit.installed() && !kit.recovering()) {
-      kit.begin_recovery(hw::CoreType::kLittleA53, [&] {
-        // Recovery can outlive a short stay; re-arm once the coast clears.
-        if (!prober.any_flagged() && !kit.installed()) kit.install();
-      });
+  bool done() const override { return baseline_.rounds() >= 6; }
+  void advance(sim::Duration quantum) override { s_.run_for(quantum); }
+  void finish() override {
+    baseline_.stop();
+    if (auto* registry = obs::metrics()) {
+      obs::snapshot_engine_metrics(s_.engine(), *registry,
+                                   /*include_wall=*/false);
     }
-  });
-  prober.set_on_clear([&](hw::CoreId, sim::Time) {
-    // Re-arm only once NO core looks secure-held: overlapping rounds on
-    // other cores may still be scanning.
-    if (!prober.any_flagged() && !kit.installed() && !kit.recovering()) {
-      kit.install();
-    }
-  });
-  prober.deploy();
-  s.run_for(sim::Duration::from_ms(10));  // prober warm-up
-  baseline.start();
-  kit.install();
-  while (baseline.rounds() < 6) s.run_for(sim::Duration::from_sec(1));
-  baseline.stop();
-  if (auto* registry = obs::metrics()) {
-    obs::snapshot_engine_metrics(s.engine(), *registry,
-                                 /*include_wall=*/false);
+    *caught_ = static_cast<char>(baseline_.alarm_count() > 0);
   }
-  return baseline.alarm_count() > 0;
-}
+
+ private:
+  static scenario::ScenarioConfig spot_config(sim::DrawMode mode) {
+    scenario::ScenarioConfig config;
+    config.platform.draw_mode = mode;
+    return config;
+  }
+
+  scenario::Scenario s_;
+  core::Satin baseline_;
+  attack::Rootkit kit_;
+  attack::KProber prober_;
+  char* caught_;
+};
 
 // One Monte-Carlo batch: draws per batch from a seed that depends only on
 // (root seed, batch index), so the total is independent of --jobs.
@@ -151,19 +176,43 @@ int main(int argc, char** argv) {
   sim::TrialRunnerOptions duel_options;
   duel_options.jobs = jobs;
   duel_options.flight_ring = obs.flight_ring();
-  sim::TrialRunner duel_runner(duel_options);
-  const std::vector<char> caught = duel_runner.run_collect(
-      kProbeCount, [&probes](const sim::TrialContext& ctx) {
-        return static_cast<char>(
-            baseline_catches_trace_at(probes[ctx.index].offset));
-      });
+  std::vector<char> caught(kProbeCount, 0);
+  std::size_t duel_trials = 0;
+  double duel_wall_s = 0.0;
+  const int batch = obs.batch(/*fallback=*/1);
+  if (batch > 1) {
+    // Lockstep shards on the batched draw pipeline; output rows are
+    // byte-identical to the scalar path below for every K.
+    sim::BatchRunnerOptions batch_options;
+    batch_options.batch = static_cast<std::size_t>(batch);
+    batch_options.runner = duel_options;
+    sim::BatchRunner duel_runner(batch_options);
+    duel_runner.run(kProbeCount, [&probes, &caught](
+                                     const sim::TrialContext& ctx) {
+      return std::make_unique<SpotDuelTrial>(probes[ctx.index].offset,
+                                             sim::DrawMode::kBatched,
+                                             &caught[ctx.index]);
+    });
+    duel_trials = duel_runner.trials_run();
+    duel_wall_s = duel_runner.wall_seconds();
+  } else {
+    sim::TrialRunner duel_runner(duel_options);
+    duel_runner.run(kProbeCount, [&probes, &caught](
+                                     const sim::TrialContext& ctx) {
+      SpotDuelTrial trial(probes[ctx.index].offset, sim::DrawMode::kScalar,
+                          &caught[ctx.index]);
+      while (!trial.done()) trial.advance(sim::Duration::from_sec(1));
+      trial.finish();
+    });
+    duel_trials = duel_runner.trials_run();
+    duel_wall_s = duel_runner.wall_seconds();
+  }
   for (std::size_t i = 0; i < kProbeCount; ++i) {
     bench::text_row("trace at " + std::to_string(probes[i].offset),
                     caught[i] ? "CAUGHT" : "escapes", probes[i].note);
   }
 
-  bench::json_row("bench_race_analysis",
-                  mc_runner.trials_run() + duel_runner.trials_run(), jobs,
-                  mc_runner.wall_seconds() + duel_runner.wall_seconds());
+  bench::json_row("bench_race_analysis", mc_runner.trials_run() + duel_trials,
+                  jobs, mc_runner.wall_seconds() + duel_wall_s);
   return 0;
 }

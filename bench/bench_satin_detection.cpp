@@ -98,6 +98,10 @@ int main(int argc, char** argv) {
   sweep_config.duel.rounds_target = 190;  // defaults ARE the paper config
   sweep_config.trials = kReplicas;
   sweep_config.jobs = obs.jobs(/*fallback=*/1);
+  // --batch=K: lockstep shards of K trials on the batched draw pipeline.
+  // A pure speed knob — every stdout row below is byte-identical to
+  // --batch=1 (the scalar run of record), which CI diffs.
+  sweep_config.batch = obs.batch(/*fallback=*/1);
   sweep_config.flight_ring = obs.flight_ring();
 
   std::printf(

@@ -1,25 +1,31 @@
 #!/usr/bin/env bash
 # Runs the reproduction benches and collects machine-readable timings into
-# BENCH_pr6.json: per-bench wall-clock, the BENCHJSON self-reports the
+# BENCH_pr8.json: per-bench wall-clock, the BENCHJSON self-reports the
 # parallel benches print on stderr (trials, jobs, trials/sec), the digest
 # cache counters and engine memory-model gauges from each bench's metrics
-# snapshot, the bench_micro event-churn allocation audit (steady state
-# must be 0 allocs/event), and a cache-on vs cache-off comparison of the
-# hash-dominated clean-rounds workload. Run from anywhere; builds are NOT
-# triggered here — point BUILD_DIR at an existing build (default
-# <repo>/build).
+# snapshot, the bench_micro event-churn + draw-pipeline allocation audit
+# (steady state must be 0 allocs/event and 0 allocs/draw), a cache-on vs
+# cache-off comparison of the hash-dominated clean-rounds workload, and a
+# paired interleaved A/B of --batch=1 (scalar run of record) vs --batch=K
+# (lockstep batched draw pipeline) on bench_satin_detection. The A/B
+# interleaves the two modes and compares USER-time medians because this
+# host's wall clock drifts ±15-25% across a session — a pair measured
+# back-to-back and a median over n pairs are robust to that; two single
+# runs an hour apart are not. Run from anywhere; builds are NOT triggered
+# here — point BUILD_DIR at an existing build (default <repo>/build).
 #
 #   scripts/run_benches.sh                 # all benches, --jobs=$(nproc)
 #   JOBS=1 scripts/run_benches.sh          # serial baseline
 #   scripts/run_benches.sh --local         # write untracked BENCH_local.json
 #   OUT=/tmp/b.json scripts/run_benches.sh # custom output path
 #   scripts/run_benches.sh bench_race_analysis   # subset
+#   AB_PAIRS=4 BATCH_K=4 scripts/run_benches.sh bench_satin_detection
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$repo/build}"
 jobs="${JOBS:-$(nproc)}"
-out="${OUT:-$repo/BENCH_pr6.json}"
+out="${OUT:-$repo/BENCH_pr8.json}"
 # Baseline for the delta table: the newest committed BENCH_pr*.json that
 # isn't this run's own output (version-sorted, so pr10 beats pr9).
 # Override with BASELINE=path.
@@ -148,36 +154,39 @@ for b in "${benches[@]}"; do
   echo "   ${wall}s" >&2
 done
 
-# Event-churn allocation audit: the engine's zero-allocation contract,
-# measured end to end. Every BM_EventChurn* bench must report exactly 0
-# allocs_per_event or the script (and the CI gate that reruns this) fails.
+# Allocation audit: the engine's zero-allocation contract, measured end
+# to end. Every BM_EventChurn* bench must report exactly 0
+# allocs_per_event, and every draw-pipeline bench (BM_Mt*/BM_Draw*) must
+# report exactly 0 allocs_per_draw, or the script (and the CI gate that
+# reruns this) fails.
 churn="null"
 micro="$build/bench/bench_micro"
 if [ -x "$micro" ] && [ "$#" -eq 0 ]; then
-  echo "== bench_micro event-churn allocation audit" >&2
+  echo "== bench_micro event-churn + draw-pipeline allocation audit" >&2
   churn_json="$(mktemp)"
-  "$micro" --benchmark_filter='BM_EventChurn' \
+  "$micro" --benchmark_filter='BM_EventChurn|BM_Mt|BM_Draw' \
     --benchmark_format=json >"$churn_json" 2>"$tmp_err"
   churn="$(python3 - "$churn_json" <<'PY'
 import json, sys
 rows = []
 bad = []
 for b in json.load(open(sys.argv[1])).get("benchmarks", []):
-    alloc = b.get("allocs_per_event")
-    if alloc is None:
-        continue
-    rows.append({"bench": b["name"], "allocs_per_event": alloc,
-                 "time_ns": b.get("real_time")})
-    if alloc != 0:
-        bad.append(b["name"])
+    for key in ("allocs_per_event", "allocs_per_draw"):
+        alloc = b.get(key)
+        if alloc is None:
+            continue
+        rows.append({"bench": b["name"], key: alloc,
+                     "time_ns": b.get("real_time")})
+        if alloc != 0:
+            bad.append(b["name"])
 if bad:
-    print(f"ERROR: nonzero allocs_per_event in {bad}", file=sys.stderr)
+    print(f"ERROR: nonzero allocs per event/draw in {bad}", file=sys.stderr)
     raise SystemExit(1)
 print(json.dumps(rows))
 PY
 )"
   rm -f "$churn_json"
-  echo "   all BM_EventChurn benches at 0 allocs/event" >&2
+  echo "   all churn benches at 0 allocs/event, all draw benches at 0 allocs/draw" >&2
 fi
 
 # Cache on-vs-off on the hash-dominated clean-rounds workload: same
@@ -213,6 +222,56 @@ if [ -x "$detect" ] && { [ "$#" -eq 0 ] || [[ " $* " == *" bench_satin_detection
   rm -f "$on_out" "$off_out"
 fi
 
+# Paired interleaved A/B: --batch=1 (scalar per-draw oracle, the run of
+# record) vs --batch=$batch_k (lockstep batched draw pipeline). Each pair
+# runs scalar then batched back-to-back and every pair re-checks that
+# stdout is byte-identical across modes (the stream contract); medians of
+# USER time over the pairs absorb the host's wall-clock drift, which two
+# single runs taken minutes apart cannot.
+batch_ab="null"
+ab_pairs="${AB_PAIRS:-8}"
+batch_k="${BATCH_K:-8}"
+if [ -x "$detect" ] && { [ "$#" -eq 0 ] || [[ " $* " == *" bench_satin_detection "* ]]; }; then
+  echo "== bench_satin_detection paired A/B: --batch=1 vs --batch=$batch_k (n=$ab_pairs pairs, user-time medians)" >&2
+  a_out="$(mktemp)" b_out="$(mktemp)"
+  a_times=() b_times=() ratios=()
+  for i in $(seq 1 "$ab_pairs"); do
+    ua="$( { TIMEFORMAT='%U'; time "$detect" --batch=1 >"$a_out" 2>"$tmp_err"; } 2>&1 )"
+    ub="$( { TIMEFORMAT='%U'; time "$detect" "--batch=$batch_k" >"$b_out" 2>"$tmp_err"; } 2>&1 )"
+    if ! diff -q "$a_out" "$b_out" >/dev/null; then
+      echo "ERROR: stdout differs between --batch=1 and --batch=$batch_k" >&2
+      diff "$a_out" "$b_out" >&2 || true
+      rm -f "$a_out" "$b_out"
+      exit 1
+    fi
+    a_times+=("$ua")
+    b_times+=("$ub")
+    pair_ratio="$(awk -v a="$ua" -v b="$ub" 'BEGIN{printf "%.3f", (b > 0) ? a / b : 0}')"
+    ratios+=("$pair_ratio")
+    echo "   pair $i/$ab_pairs: scalar ${ua}s  batched ${ub}s  (${pair_ratio}x)" >&2
+  done
+  rm -f "$a_out" "$b_out"
+  median() {
+    printf '%s\n' "$@" | sort -g |
+      awk '{v[NR]=$1} END{if (NR%2) print v[(NR+1)/2]; else printf "%.3f\n", (v[NR/2]+v[NR/2+1])/2}'
+  }
+  a_med="$(median "${a_times[@]}")"
+  b_med="$(median "${b_times[@]}")"
+  ab_speedup="$(awk -v a="$a_med" -v b="$b_med" 'BEGIN{printf "%.2f", (b > 0) ? a / b : 0}')"
+  # Two estimators: ratio-of-medians treats the 2n runs as two pools, which
+  # re-admits the drift the pairing was built to cancel (an early quiet
+  # scalar run gets compared against a late noisy batched one). The median
+  # of the per-pair ratios is the estimator the paired design motivates —
+  # each ratio is drift-free because its two runs were back-to-back.
+  ab_paired="$(median "${ratios[@]}")"
+  a_list="$(IFS=,; echo "${a_times[*]}")"
+  b_list="$(IFS=,; echo "${b_times[*]}")"
+  r_list="$(IFS=,; echo "${ratios[*]}")"
+  batch_ab="$(printf '{"batch":%s,"pairs":%s,"user_s_scalar":[%s],"user_s_batched":[%s],"pair_ratios":[%s],"user_s_scalar_median":%s,"user_s_batched_median":%s,"speedup":%s,"speedup_paired":%s,"stdout_identical":true}' \
+              "$batch_k" "$ab_pairs" "$a_list" "$b_list" "$r_list" "$a_med" "$b_med" "$ab_speedup" "$ab_paired")"
+  echo "   medians: scalar ${a_med}s  batched ${b_med}s  speedup ${ab_speedup}x (median of pair ratios: ${ab_paired}x)" >&2
+fi
+
 # Engine speedup on the headline detection bench vs the auto-detected
 # baseline record.
 detect_speedup="null"
@@ -228,8 +287,9 @@ PY
 fi
 
 baseline_name="$( [ -n "$baseline" ] && basename "$baseline" || echo null)"
-printf '{"schema":"satin-bench-pr6/1","nproc":%s,"jobs":%s,"baseline":"%s","detection_speedup_vs_baseline":%s,"event_churn_allocs":%s,"clean_rounds_cache_comparison":%s,"benches":[%s]}\n' \
-  "$(nproc)" "$jobs" "$baseline_name" "$detect_speedup" "$churn" "$cache_cmp" "$rows" >"$out"
+printf '{"schema":"satin-bench-pr8/1","nproc":%s,"jobs":%s,"baseline":"%s","detection_speedup_vs_baseline":%s,"event_churn_allocs":%s,"clean_rounds_cache_comparison":%s,"batch_ab":%s,"benches":[%s]}\n' \
+  "$(nproc)" "$jobs" "$baseline_name" "$detect_speedup" "$churn" "$cache_cmp" "$batch_ab" "$rows" >"$out"
+[ "$batch_ab" = "null" ] || echo "batch A/B (--batch=1 vs --batch=$batch_k) user-time speedup: ${ab_speedup}x" >&2
 echo "wrote $out" >&2
 [ "$detect_speedup" = "null" ] || echo "bench_satin_detection speedup vs $baseline_name: ${detect_speedup}x" >&2
 

@@ -2,50 +2,59 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace satin::attack {
+
+namespace {
+
+sim::TruncatedNormalStream make_base_stream(
+    const hw::CrossCoreDelayModel& model, sim::Rng rng, int probed_cores,
+    sim::DrawMode mode) {
+  const double s = model.magnitude_scale(probed_cores);
+  return sim::TruncatedNormalStream(std::move(rng), model.base_mean_s * s,
+                                    model.base_stddev_s * s,
+                                    model.base_min_s * s, model.base_max_s * s,
+                                    mode);
+}
+
+}  // namespace
 
 SharedTimeBuffer::SharedTimeBuffer(int num_slots,
                                    hw::CrossCoreDelayModel model,
                                    sim::Rng rng, double reads_per_second,
-                                   int probed_cores)
+                                   int probed_cores, sim::DrawMode mode)
     : model_(model),
-      rng_(std::move(rng)),
+      spike_prob_per_read_(
+          reads_per_second > 0.0
+              ? std::min(1.0, model.spike_rate_per_s / reads_per_second)
+              : 0.0),
       probed_cores_(probed_cores),
+      // Substream forks happen in declaration order, so the split is
+      // deterministic — and identical across DrawMode (mode only selects
+      // how each stream is realized, never which draws exist).
+      base_stream_(make_base_stream(model, rng.fork("base"), probed_cores,
+                                    mode)),
+      spike_gate_(rng.fork("bernoulli"), mode),
+      spike_rng_(rng.fork("spike")),
       last_report_(static_cast<std::size_t>(num_slots)),
       reported_(static_cast<std::size_t>(num_slots), false) {
   if (num_slots <= 0) throw std::invalid_argument("SharedTimeBuffer: slots");
   if (reads_per_second <= 0.0) {
     throw std::invalid_argument("SharedTimeBuffer: read rate");
   }
-  spike_prob_per_read_ =
-      std::min(1.0, model.spike_rate_per_s / reads_per_second);
-}
-
-void SharedTimeBuffer::report(int slot, sim::Time now) {
-  last_report_.at(static_cast<std::size_t>(slot)) = now;
-  reported_.at(static_cast<std::size_t>(slot)) = true;
-  ++reports_;
-}
-
-bool SharedTimeBuffer::ever_reported(int slot) const {
-  return reported_.at(static_cast<std::size_t>(slot));
-}
-
-sim::Time SharedTimeBuffer::last_report(int slot) const {
-  return last_report_.at(static_cast<std::size_t>(slot));
 }
 
 sim::Duration SharedTimeBuffer::observed_staleness(int slot, sim::Time now) {
-  const sim::Time reported = last_report_.at(static_cast<std::size_t>(slot));
+  const sim::Time reported = last_report_[static_cast<std::size_t>(slot)];
   sim::Duration age = now >= reported ? now - reported : sim::Duration::zero();
   // Routine visibility delay: small, always present. Use a fraction of the
   // plateau model (the plateau also includes wake-phase geometry, which the
   // event-driven prober exhibits organically through its real wake times).
-  double delay_s = 0.35 * model_.sample_base_seconds(rng_, probed_cores_);
-  if (rng_.bernoulli(spike_prob_per_read_)) {
+  double delay_s = 0.35 * base_stream_.next();
+  if (spike_gate_.next() < spike_prob_per_read_) {
     ++spiked_reads_;
-    delay_s += std::min(model_.sample_spike_seconds(rng_, probed_cores_),
+    delay_s += std::min(model_.sample_spike_seconds(spike_rng_, probed_cores_),
                         model_.event_spike_cap_s);
   }
   return age + sim::Duration::from_sec_f(delay_s);

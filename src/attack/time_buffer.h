@@ -6,6 +6,14 @@
 // observed rare abnormal read delays up to 1.3e-3 s — so an
 // observed_staleness() read adds a calibrated visibility delay: a small
 // base draw, occasionally a heavy-tailed spike (Poisson arrivals).
+//
+// This is the hottest stochastic consumer in the tree (~672M base draws
+// per bench_satin_detection run), so the delay draws ride the batched
+// pipeline (sim/rng.h): the base truncated normal and the spike-gate
+// canonicals come from dedicated forked substreams, precomputed in blocks
+// when DrawMode::kBatched. The rare spike magnitude stays a per-draw
+// scalar on its own substream in both modes. Mode changes values on no
+// read — streams are bit-identical across modes by contract.
 #pragma once
 
 #include <vector>
@@ -22,15 +30,24 @@ class SharedTimeBuffer {
   // the deployed prober (used to convert the model's spike rate per second
   // into a per-read probability). The model is captured by value.
   SharedTimeBuffer(int num_slots, hw::CrossCoreDelayModel model,
-                   sim::Rng rng, double reads_per_second, int probed_cores);
+                   sim::Rng rng, double reads_per_second, int probed_cores,
+                   sim::DrawMode mode = sim::DrawMode::kScalar);
 
   int num_slots() const { return static_cast<int>(last_report_.size()); }
 
   // Time Reporter: slot's owner writes the current shared-counter value.
-  void report(int slot, sim::Time now);
+  void report(int slot, sim::Time now) {
+    last_report_[static_cast<std::size_t>(slot)] = now;
+    reported_[static_cast<std::size_t>(slot)] = true;
+    ++reports_;
+  }
 
-  bool ever_reported(int slot) const;
-  sim::Time last_report(int slot) const;
+  bool ever_reported(int slot) const {
+    return reported_[static_cast<std::size_t>(slot)];
+  }
+  sim::Time last_report(int slot) const {
+    return last_report_[static_cast<std::size_t>(slot)];
+  }
 
   // Time Comparer: how old slot's report *appears* from another core,
   // including the sampled visibility delay. A frozen reporter's staleness
@@ -42,9 +59,15 @@ class SharedTimeBuffer {
 
  private:
   hw::CrossCoreDelayModel model_;
-  sim::Rng rng_;
   double spike_prob_per_read_;
   int probed_cores_;
+  // Routine visibility delay, pre-scaled by magnitude_scale(probed_cores).
+  sim::TruncatedNormalStream base_stream_;
+  // One canonical per read gates the spike (canonical < p, i.e.
+  // Rng::bernoulli inlined so the batched path can precompute it).
+  sim::CanonicalStream spike_gate_;
+  // Spike magnitudes are ~5e-6 per read: never worth batching.
+  sim::Rng spike_rng_;
   std::vector<sim::Time> last_report_;
   std::vector<bool> reported_;
   std::uint64_t reports_ = 0;

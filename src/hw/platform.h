@@ -29,6 +29,11 @@ struct PlatformConfig {
   // in the paper's build, §IV-C) with headroom.
   std::size_t memory_bytes = 16u * 1024u * 1024u;
   std::uint64_t seed = 0x5A71A57ull;
+  // How stochastic hot paths draw: kScalar per-draw (the --batch=1 run of
+  // record) or kBatched block kernels. Bit-identical by contract
+  // (tests/sim/rng_test.cpp); a runtime knob, never part of result
+  // identity.
+  sim::DrawMode draw_mode = sim::DrawMode::kScalar;
   TimingParams timing;
 };
 

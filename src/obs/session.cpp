@@ -128,6 +128,11 @@ ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity) {
     jobs_ = std::atoi(jobs_value.c_str());
     if (jobs_ < 0) jobs_ = -1;  // nonsense value: behave as if absent
   }
+  const std::string batch_value = take_flag(argc, argv, "batch");
+  if (!batch_value.empty()) {
+    batch_ = std::atoi(batch_value.c_str());
+    if (batch_ < 1) batch_ = -1;  // nonsense value: behave as if absent
+  }
   const std::string cache_value = take_flag(argc, argv, "digest-cache");
   if (cache_value == "off") {
     digest_cache_ = false;

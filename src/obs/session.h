@@ -41,7 +41,8 @@ void snapshot_engine_metrics(const sim::Engine& engine,
 class ObsSession {
  public:
   // Consumes --trace= / --metrics= / --metrics-stable / --faults= /
-  // --jobs= / --digest-cache= / --flight= from argv (argc is rewritten).
+  // --jobs= / --batch= / --digest-cache= / --flight= from argv (argc is
+  // rewritten).
   // When no flag is present the session installs nothing and costs
   // nothing. The faults spec is only stripped and stored — the obs layer
   // knows nothing about fault injection; pass faults_spec() to
@@ -69,10 +70,17 @@ class ObsSession {
   bool metrics_stable() const { return metrics_stable_; }
   bool faults_requested() const { return !faults_spec_.empty(); }
   bool jobs_requested() const { return jobs_ >= 0; }
+  bool batch_requested() const { return batch_ >= 1; }
   bool digest_cache_enabled() const { return digest_cache_; }
   // Parsed --jobs value; `fallback` when the flag was absent, one worker
   // per hardware thread when it was --jobs=0.
   int jobs(int fallback = 1) const;
+  // Parsed --batch value (lockstep shard size for sim::BatchRunner);
+  // `fallback` when the flag was absent or below 1. Like --jobs, this is
+  // only stripped and stored — a pure runtime knob whose output is
+  // byte-identical for every value (CI-gated), so it never belongs in a
+  // result-shaping config hash.
+  int batch(int fallback = 1) const { return batch_ >= 1 ? batch_ : fallback; }
   const std::string& trace_path() const { return trace_path_; }
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& faults_spec() const { return faults_spec_; }
@@ -97,6 +105,7 @@ class ObsSession {
   std::string flight_path_;
   std::size_t flight_ring_ = 0;  // 0 = spill mode
   int jobs_ = -1;                // -1 = flag absent
+  int batch_ = -1;               // -1 = flag absent (or nonsense value)
   bool digest_cache_ = true;
   bool metrics_stable_ = false;
   std::unique_ptr<TraceRecorder> recorder_;

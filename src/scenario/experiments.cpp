@@ -1,11 +1,14 @@
 #include "scenario/experiments.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/session.h"
 #include "os/system_map.h"
+#include "sim/batch.h"
 
 namespace satin::scenario {
 
@@ -38,66 +41,74 @@ void SecureActivityLog::on_secure_exit(hw::CoreId core, sim::Time when) {
   }
 }
 
-DuelReport run_duel(Scenario& scenario, const DuelConfig& config) {
-  auto& platform = scenario.platform();
-  SecureActivityLog activity(platform);
+namespace {
 
-  // Trusted boot order matters: SATIN measures the pristine kernel before
-  // the attack is planted. The defense may wake at any moment after
-  // start(), so the evader's probers are deployed and warmed up first —
-  // an APT attacker is in place long before the next introspection round
-  // (§III-A), not racing the bootstrap.
-  core::Satin satin(platform, scenario.kernel(), scenario.tsp(),
-                    config.satin);
-  satin.checker().authorize_boot_state();
+attack::EvaderConfig manual_install(attack::EvaderConfig config) {
+  config.auto_install = false;
+  return config;
+}
 
-  attack::EvaderConfig evader_config = config.evader;
-  evader_config.auto_install = false;
-  attack::TzEvader evader(scenario.os(), evader_config);
-  struct Detection {
-    hw::CoreId core;
-    sim::Time when;
-  };
-  std::vector<Detection> detections;
-  evader.set_detect_observer(
-      [&detections](hw::CoreId core, sim::Time when, sim::Duration) {
-        detections.push_back(Detection{core, when});
+}  // namespace
+
+DuelTrial::DuelTrial(Scenario& scenario, const DuelConfig& config)
+    : scenario_(scenario),
+      config_(config),
+      activity_(scenario.platform()),
+      // Trusted boot order matters: SATIN measures the pristine kernel
+      // before the attack is planted. The defense may wake at any moment
+      // after start(), so the evader's probers are deployed and warmed up
+      // first — an APT attacker is in place long before the next
+      // introspection round (§III-A), not racing the bootstrap.
+      satin_(scenario.platform(), scenario.kernel(), scenario.tsp(),
+             config.satin),
+      evader_(scenario.os(), manual_install(config.evader)) {
+  satin_.checker().authorize_boot_state();
+  evader_.set_detect_observer(
+      [this](hw::CoreId core, sim::Time when, sim::Duration) {
+        detections_.push_back(Detection{core, when});
       });
-  evader.deploy();
-  scenario.run_for(sim::Duration::from_ms(10));  // prober warm-up
-  satin.start();
-  evader.rootkit().install();
+  evader_.deploy();
+  scenario_.run_for(sim::Duration::from_ms(10));  // prober warm-up
+  satin_.start();
+  evader_.rootkit().install();
+  start_ = scenario_.now();
+  deadline_ = start_ + sim::Duration::from_sec_f(config_.max_sim_seconds);
+}
 
-  const sim::Time start = scenario.now();
-  const sim::Time deadline =
-      start + sim::Duration::from_sec_f(config.max_sim_seconds);
-  while (satin.rounds() < config.rounds_target && scenario.now() < deadline) {
-    scenario.run_for(sim::Duration::from_sec(1));
-  }
-  satin.stop();
-  evader.prober().retract();
+bool DuelTrial::done() const {
+  return satin_.rounds() >= config_.rounds_target ||
+         scenario_.now() >= deadline_;
+}
+
+void DuelTrial::advance(sim::Duration quantum) {
+  scenario_.run_for(quantum);
+}
+
+DuelReport DuelTrial::finish() {
+  satin_.stop();
+  evader_.prober().retract();
 
   DuelReport report;
-  report.rounds = satin.rounds();
-  report.alarms = satin.alarm_count();
-  report.full_cycles = satin.full_cycles();
-  report.sim_seconds = (scenario.now() - start).sec();
-  report.evasions_started = evader.evasions_started();
-  report.rearms = evader.rearms();
-  report.prober_detections = static_cast<std::uint64_t>(detections.size());
-  report.secure_stays = activity.stay_count();
+  report.rounds = satin_.rounds();
+  report.alarms = satin_.alarm_count();
+  report.full_cycles = satin_.full_cycles();
+  report.sim_seconds = (scenario_.now() - start_).sec();
+  report.evasions_started = evader_.evasions_started();
+  report.rearms = evader_.rearms();
+  report.prober_detections = static_cast<std::uint64_t>(detections_.size());
+  report.secure_stays = activity_.stay_count();
 
   report.confirmed_alarms =
-      satin.checker().alarm_count(core::AlarmKind::kConfirmed);
+      satin_.checker().alarm_count(core::AlarmKind::kConfirmed);
   report.transient_alarms =
-      satin.checker().alarm_count(core::AlarmKind::kTransient);
-  report.watchdog_fires = satin.watchdog_fires();
-  report.scan_retries = satin.checker().retries_performed();
+      satin_.checker().alarm_count(core::AlarmKind::kTransient);
+  report.watchdog_fires = satin_.watchdog_fires();
+  report.scan_retries = satin_.checker().retries_performed();
 
   const std::size_t gettid_offset =
-      scenario.kernel().syscall_entry_offset(os::kGettidSyscallNr);
-  report.target_area = satin.area_of_offset(gettid_offset);
-  for (const core::Alarm& a : satin.checker().alarms()) {
+      scenario_.kernel().syscall_entry_offset(os::kGettidSyscallNr);
+  report.target_area = satin_.area_of_offset(gettid_offset);
+  for (const core::Alarm& a : satin_.checker().alarms()) {
     if (a.kind == core::AlarmKind::kConfirmed && a.area != report.target_area) {
       ++report.benign_confirmed_alarms;
     }
@@ -107,7 +118,7 @@ DuelReport run_duel(Scenario& scenario, const DuelConfig& config) {
   bool have_prev = false;
   double gap_sum = 0.0;
   std::size_t gap_count = 0;
-  for (const core::RoundRecord& r : satin.round_records()) {
+  for (const core::RoundRecord& r : satin_.round_records()) {
     if (r.area != report.target_area) continue;
     ++report.target_area_rounds;
     if (r.alarm) ++report.target_area_alarms;
@@ -126,19 +137,19 @@ DuelReport run_duel(Scenario& scenario, const DuelConfig& config) {
   // falls inside a secure stay (small exit margin: the last staleness
   // sample may land just after the world switch back).
   const sim::Duration margin = sim::Duration::from_ms(2);
-  for (const Detection& d : detections) {
+  for (const Detection& d : detections_) {
     const bool genuine = std::any_of(
-        activity.intervals().begin(), activity.intervals().end(),
+        activity_.intervals().begin(), activity_.intervals().end(),
         [&](const SecureActivityLog::Interval& iv) {
           return iv.core == d.core && d.when >= iv.entry &&
                  (!iv.closed || d.when <= iv.exit + margin);
         });
     if (!genuine) ++report.false_positives;
   }
-  for (const auto& iv : activity.intervals()) {
+  for (const auto& iv : activity_.intervals()) {
     if (!iv.closed) continue;
     const bool noticed = std::any_of(
-        detections.begin(), detections.end(), [&](const Detection& d) {
+        detections_.begin(), detections_.end(), [&](const Detection& d) {
           return d.core == iv.core && d.when >= iv.entry &&
                  d.when <= iv.exit + margin;
         });
@@ -146,6 +157,59 @@ DuelReport run_duel(Scenario& scenario, const DuelConfig& config) {
   }
   return report;
 }
+
+DuelReport run_duel(Scenario& scenario, const DuelConfig& config) {
+  DuelTrial trial(scenario, config);
+  while (!trial.done()) trial.advance(sim::Duration::from_sec(1));
+  return trial.finish();
+}
+
+namespace {
+
+// run_duel as a lockstep citizen: owns its Scenario, writes its report
+// into the submission-order slot the factory wired. finish() runs under
+// the trial's sinks, so the metrics snapshot matches the unsharded path.
+class DuelLockstepTrial final : public sim::LockstepTrial {
+ public:
+  DuelLockstepTrial(const ScenarioConfig& scenario_config,
+                    const DuelConfig& duel, DuelReport* slot)
+      : scenario_(scenario_config), trial_(scenario_, duel), slot_(slot) {}
+
+  bool done() const override { return trial_.done(); }
+  void advance(sim::Duration quantum) override { trial_.advance(quantum); }
+  void finish() override {
+    *slot_ = trial_.finish();
+    if (auto* registry = obs::metrics()) {
+      obs::snapshot_engine_metrics(scenario_.engine(), *registry,
+                                   /*include_wall=*/false);
+    }
+  }
+
+ private:
+  Scenario scenario_;
+  DuelTrial trial_;
+  DuelReport* slot_;
+};
+
+// Per-trial configs are derived identically on both sweep paths; only
+// draw_mode differs, and that is value-inert by the stream contract.
+ScenarioConfig duel_trial_scenario_config(const DuelSweepConfig& config,
+                                          const sim::TrialContext& ctx,
+                                          DuelConfig& duel,
+                                          const std::function<void(
+                                              const sim::TrialContext&,
+                                              ScenarioConfig&, DuelConfig&)>&
+                                              customize) {
+  ScenarioConfig scenario_config;
+  scenario_config.platform.seed = ctx.seed;
+  if (config.batch > 1) {
+    scenario_config.platform.draw_mode = sim::DrawMode::kBatched;
+  }
+  if (customize) customize(ctx, scenario_config, duel);
+  return scenario_config;
+}
+
+}  // namespace
 
 DuelSweep run_duel_sweep(
     const DuelSweepConfig& config,
@@ -155,16 +219,37 @@ DuelSweep run_duel_sweep(
   options.jobs = config.jobs;
   options.root_seed = config.root_seed;
   options.flight_ring = config.flight_ring;
-  sim::TrialRunner runner(options);
 
   DuelSweep sweep;
+  if (config.batch > 1) {
+    sim::BatchRunnerOptions batch_options;
+    batch_options.batch = static_cast<std::size_t>(config.batch);
+    batch_options.runner = options;
+    sim::BatchRunner runner(batch_options);
+    // Report the same effective worker clamp as the unsharded sweep:
+    // `jobs` is the requested-parallelism knob, and sweep output must be
+    // byte-identical across --batch (shards may cap workers lower).
+    sweep.jobs = sim::TrialRunner(options).jobs_for(config.trials);
+    sweep.reports.resize(config.trials);
+    runner.run(config.trials, [&config, &customize, &sweep](
+                                  const sim::TrialContext& ctx) {
+      DuelConfig duel = config.duel;
+      const ScenarioConfig scenario_config =
+          duel_trial_scenario_config(config, ctx, duel, customize);
+      return std::make_unique<DuelLockstepTrial>(scenario_config, duel,
+                                                 &sweep.reports[ctx.index]);
+    });
+    sweep.wall_seconds = runner.wall_seconds();
+    return sweep;
+  }
+
+  sim::TrialRunner runner(options);
   sweep.jobs = runner.jobs_for(config.trials);
   sweep.reports = runner.run_collect(
       config.trials, [&config, &customize](const sim::TrialContext& ctx) {
-        ScenarioConfig scenario_config;
-        scenario_config.platform.seed = ctx.seed;
         DuelConfig duel = config.duel;
-        if (customize) customize(ctx, scenario_config, duel);
+        const ScenarioConfig scenario_config =
+            duel_trial_scenario_config(config, ctx, duel, customize);
         Scenario scenario(scenario_config);
         DuelReport report = run_duel(scenario, duel);
         // Engine self-metrics, minus host wall time: trial metrics must

@@ -100,6 +100,38 @@ struct DuelReport {
   }
 };
 
+// One duel, decomposed so a BatchRunner can interleave it with
+// shard-mates: the constructor performs the full setup (trusted boot,
+// prober deployment and 10 ms warm-up, SATIN start, rootkit install),
+// advance() runs one slice of simulated time, finish() stops both sides
+// and correlates detections against ground truth. run_duel() is exactly
+// construct + advance(1 s) until done + finish, so sliced and unsliced
+// execution produce identical reports by construction.
+class DuelTrial {
+ public:
+  DuelTrial(Scenario& scenario, const DuelConfig& config);
+
+  bool done() const;
+  void advance(sim::Duration quantum);
+  // Call exactly once, after done(); the trial is spent afterwards.
+  DuelReport finish();
+
+ private:
+  struct Detection {
+    hw::CoreId core = -1;
+    sim::Time when;
+  };
+
+  Scenario& scenario_;
+  DuelConfig config_;
+  SecureActivityLog activity_;
+  core::Satin satin_;
+  std::vector<Detection> detections_;
+  attack::TzEvader evader_;
+  sim::Time start_;
+  sim::Time deadline_;
+};
+
 DuelReport run_duel(Scenario& scenario, const DuelConfig& config);
 
 // Replicated duels over a sim::TrialRunner: `trials` independent duels
@@ -118,6 +150,12 @@ struct DuelSweepConfig {
   // Per-trial flight-recorder ring capacity (0 = full per-trial stream);
   // pass ObsSession::flight_ring() so --flight=...,ring=N bounds trials too.
   std::size_t flight_ring = 0;
+  // Lockstep shard size (--batch=K). 1 = the scalar per-draw run of
+  // record via TrialRunner::run(); K >= 2 groups trials into shards of K
+  // advanced in lockstep by sim::BatchRunner with the platforms switched
+  // to DrawMode::kBatched. A runtime performance knob: the sweep output
+  // is byte-identical for every K (CI-gated).
+  int batch = 1;
 };
 
 struct DuelSweep {

@@ -1,0 +1,23 @@
+#include "sim/batch.h"
+
+namespace satin::sim {
+
+BatchRunner::BatchRunner(BatchRunnerOptions options)
+    : options_(options), runner_(options.runner) {
+  if (options_.batch < 1) options_.batch = 1;
+  if (options_.quantum <= Duration::zero()) {
+    options_.quantum = Duration::from_sec(1);
+  }
+}
+
+int BatchRunner::jobs_for(std::size_t trials) const {
+  const std::size_t shards =
+      trials == 0 ? 0 : (trials + options_.batch - 1) / options_.batch;
+  return runner_.jobs_for(shards);
+}
+
+void BatchRunner::run(std::size_t trials, const MakeTrial& make) {
+  runner_.run_sharded(trials, options_.batch, options_.quantum, make);
+}
+
+}  // namespace satin::sim

@@ -1,0 +1,81 @@
+// Batched lockstep trial execution.
+//
+// A duel trial spends most of its cycles drawing calibrated jitter; the
+// batched draw pipeline (sim/rng.h) makes those draws cheap by
+// precomputing them in vectorized blocks. BatchRunner is the harness that
+// carries a whole sweep on that pipeline: trials are grouped into shards
+// of K, a worker owns a shard, and the shard's trials advance in lockstep
+// — round-robin, one time quantum each — so K trials' worth of per-trial
+// stream state stays resident and every refill amortizes across a long
+// run of consumption (structure-of-arrays at the shard level: the state
+// that varies per trial lives in arrays indexed by shard slot, walked in
+// one engine pass per quantum).
+//
+// Identity is the design constraint, not an afterthought: each trial owns
+// its engine and obs sinks, run_for slicing is inert in the event engine,
+// and the submission-order merge is shared with TrialRunner::run() — so
+// --batch=K output is byte-identical to --batch=1 for every K, which CI
+// enforces. The scalar unsharded path stays the run of record.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/parallel.h"
+#include "sim/time.h"
+
+namespace satin::sim {
+
+// One trial a BatchRunner can interleave with its shard-mates. Calls are
+// always made under the trial's own obs sinks; the trial must tolerate
+// its simulated time advancing in quanta (pure event-engine trials do by
+// construction).
+class LockstepTrial {
+ public:
+  virtual ~LockstepTrial() = default;
+  // True once the trial has nothing left to simulate. Checked before and
+  // after every advance().
+  virtual bool done() const = 0;
+  // Advance simulated time by (at most) one quantum.
+  virtual void advance(Duration quantum) = 0;
+  // Called exactly once, after done() turns true: produce results (write
+  // them wherever the factory wired them to go).
+  virtual void finish() = 0;
+};
+
+struct BatchRunnerOptions {
+  // Trials per lockstep shard. 1 degenerates to TrialRunner::run()'s
+  // shape (still via the sharded code path).
+  std::size_t batch = 1;
+  // Lockstep slice of simulated time (matches run_duel's historical 1 s
+  // stride so sliced and unsliced trials run the same event sequence).
+  Duration quantum = Duration::from_sec(1);
+  // Worker pool / seeds / per-trial sink capacities (TrialRunner
+  // semantics; jobs is clamped to the shard count).
+  TrialRunnerOptions runner;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchRunnerOptions options = {});
+
+  using MakeTrial =
+      std::function<std::unique_ptr<LockstepTrial>(const TrialContext&)>;
+
+  // Builds one trial per index in [0, trials) via `make` and runs them in
+  // lockstep shards. Obs sinks, seeds, ordered merge, and first-error
+  // rethrow all behave exactly like TrialRunner::run().
+  void run(std::size_t trials, const MakeTrial& make);
+
+  std::size_t batch() const { return options_.batch; }
+  int jobs_for(std::size_t trials) const;
+  double wall_seconds() const { return runner_.wall_seconds(); }
+  std::size_t trials_run() const { return runner_.trials_run(); }
+
+ private:
+  BatchRunnerOptions options_;
+  TrialRunner runner_;
+};
+
+}  // namespace satin::sim

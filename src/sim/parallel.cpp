@@ -10,6 +10,7 @@
 #include "obs/flight/recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/batch.h"
 
 namespace satin::sim {
 
@@ -52,41 +53,96 @@ double TrialRunner::trials_per_second() const {
              : 0.0;
 }
 
+namespace {
+
+// The calling thread's sinks decide whether trials record at all; the
+// per-trial instances exist so workers never contend on one registry and
+// so the merged state is independent of completion order — shared
+// verbatim between run() and run_sharded(), which is what makes their
+// outputs byte-identical to each other.
+struct PerTrialSinks {
+  obs::MetricsRegistry* parent_metrics = obs::metrics();
+  obs::TraceRecorder* parent_tracer = obs::tracer();
+  obs::FlightRecorder* parent_flight = obs::flight();
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> metrics;
+  std::vector<std::unique_ptr<obs::TraceRecorder>> tracers;
+  std::vector<std::unique_ptr<obs::FlightRecorder>> flights;
+
+  PerTrialSinks(std::size_t trials, const TrialRunnerOptions& options)
+      : metrics(trials), tracers(trials), flights(trials) {
+    for (std::size_t i = 0; i < trials; ++i) {
+      if (parent_metrics != nullptr) {
+        metrics[i] = std::make_unique<obs::MetricsRegistry>();
+      }
+      if (parent_tracer != nullptr) {
+        tracers[i] = std::make_unique<obs::TraceRecorder>(options.trace_capacity);
+      }
+      if (parent_flight != nullptr) {
+        obs::FlightRecorder::Options fopts;
+        fopts.ring = options.flight_ring;  // in-memory; no path, no spill
+        flights[i] = std::make_unique<obs::FlightRecorder>(fopts);
+      }
+    }
+  }
+
+  // Merge in submission order, on the calling thread, after every trial
+  // has settled — the one place all execution paths reconverge.
+  void merge(const TrialSeedSeq& seeds) {
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      if (metrics[i] != nullptr) parent_metrics->merge_from(*metrics[i]);
+      if (tracers[i] != nullptr) parent_tracer->append_from(*tracers[i]);
+      if (flights[i] != nullptr) {
+        // The trial-begin marker is emitted here, by the parent, rather
+        // than inside the trial: in ring mode it would be the trial's
+        // OLDEST record and the first one overwritten, losing the
+        // stream's trial boundaries exactly when the auditor needs them.
+        parent_flight->record(obs::FlightKind::kTrialBegin, Time::zero(),
+                              static_cast<std::uint64_t>(i),
+                              static_cast<int>(i), seeds.seed_for(i));
+        parent_flight->append_from(*flights[i]);
+      }
+    }
+  }
+};
+
+// Fixed-size pool over `units` work items; a shared atomic cursor
+// load-balances uneven items (duel lengths vary a lot). Claim order is
+// racy, but nothing reads it: every output is keyed by the unit index.
+void run_pool(int jobs, std::size_t units,
+              const std::function<void(std::size_t)>& work) {
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < units; ++i) work(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= units) return;
+        work(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
 void TrialRunner::run(std::size_t trials,
                       const std::function<void(const TrialContext&)>& fn) {
   if (trials == 0) return;
   const auto wall_start = std::chrono::steady_clock::now();
 
-  // The calling thread's sinks decide whether trials record at all; the
-  // per-trial instances exist so workers never contend on one registry
-  // and so the merged state is independent of completion order.
-  obs::MetricsRegistry* parent_metrics = obs::metrics();
-  obs::TraceRecorder* parent_tracer = obs::tracer();
-  obs::FlightRecorder* parent_flight = obs::flight();
-
-  std::vector<std::unique_ptr<obs::MetricsRegistry>> trial_metrics(trials);
-  std::vector<std::unique_ptr<obs::TraceRecorder>> trial_tracers(trials);
-  std::vector<std::unique_ptr<obs::FlightRecorder>> trial_flights(trials);
+  PerTrialSinks sinks(trials, options_);
   std::vector<std::exception_ptr> errors(trials);
-  for (std::size_t i = 0; i < trials; ++i) {
-    if (parent_metrics != nullptr) {
-      trial_metrics[i] = std::make_unique<obs::MetricsRegistry>();
-    }
-    if (parent_tracer != nullptr) {
-      trial_tracers[i] =
-          std::make_unique<obs::TraceRecorder>(options_.trace_capacity);
-    }
-    if (parent_flight != nullptr) {
-      obs::FlightRecorder::Options fopts;
-      fopts.ring = options_.flight_ring;  // in-memory; no path, no spill
-      trial_flights[i] = std::make_unique<obs::FlightRecorder>(fopts);
-    }
-  }
 
   const auto run_one = [&](std::size_t i) {
     const TrialContext ctx{i, seeds_.seed_for(i)};
-    TrialObsScope sinks(trial_metrics[i].get(), trial_tracers[i].get(),
-                        trial_flights[i].get());
+    TrialObsScope scope(sinks.metrics[i].get(), sinks.tracers[i].get(),
+                        sinks.flights[i].get());
     try {
       fn(ctx);
     } catch (...) {
@@ -94,48 +150,73 @@ void TrialRunner::run(std::size_t trials,
     }
   };
 
-  const int jobs = jobs_for(trials);
-  if (jobs == 1) {
-    for (std::size_t i = 0; i < trials; ++i) run_one(i);
-  } else {
-    // Fixed-size pool; a shared atomic cursor load-balances uneven trials
-    // (duel lengths vary a lot). Claim order is racy, but nothing reads
-    // it: every output is keyed by the trial index.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(jobs));
-    for (int w = 0; w < jobs; ++w) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= trials) return;
-          run_one(i);
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-  }
+  run_pool(jobs_for(trials), trials, run_one);
+  sinks.merge(seeds_);
 
-  // Merge in submission order, on the calling thread, after every trial
-  // has settled — the one place the parallel and serial paths reconverge.
+  trials_run_ += trials;
+  wall_seconds_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+
   for (std::size_t i = 0; i < trials; ++i) {
-    if (trial_metrics[i] != nullptr) {
-      parent_metrics->merge_from(*trial_metrics[i]);
-    }
-    if (trial_tracers[i] != nullptr) {
-      parent_tracer->append_from(*trial_tracers[i]);
-    }
-    if (trial_flights[i] != nullptr) {
-      // The trial-begin marker is emitted here, by the parent, rather than
-      // inside the trial: in ring mode it would be the trial's OLDEST
-      // record and the first one overwritten, losing the stream's trial
-      // boundaries exactly when the auditor needs them.
-      parent_flight->record(obs::FlightKind::kTrialBegin, Time::zero(),
-                            static_cast<std::uint64_t>(i),
-                            static_cast<int>(i), seeds_.seed_for(i));
-      parent_flight->append_from(*trial_flights[i]);
-    }
+    if (errors[i]) std::rethrow_exception(errors[i]);
   }
+}
+
+void TrialRunner::run_sharded(
+    std::size_t trials, std::size_t shard_size, Duration quantum,
+    const std::function<std::unique_ptr<LockstepTrial>(const TrialContext&)>&
+        make) {
+  if (trials == 0) return;
+  if (shard_size < 1) shard_size = 1;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  PerTrialSinks sinks(trials, options_);
+  std::vector<std::exception_ptr> errors(trials);
+  const std::size_t shards = (trials + shard_size - 1) / shard_size;
+
+  const auto run_shard = [&](std::size_t s) {
+    const std::size_t begin = s * shard_size;
+    const std::size_t count = std::min(shard_size, trials - begin);
+    // Shard-slot arrays — the per-trial state walked in lockstep.
+    std::vector<std::unique_ptr<LockstepTrial>> live(count);
+    std::size_t remaining = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t i = begin + j;
+      const TrialContext ctx{i, seeds_.seed_for(i)};
+      TrialObsScope scope(sinks.metrics[i].get(), sinks.tracers[i].get(),
+                          sinks.flights[i].get());
+      try {
+        live[j] = make(ctx);
+        if (live[j] != nullptr) ++remaining;
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    while (remaining > 0) {
+      for (std::size_t j = 0; j < count; ++j) {
+        if (live[j] == nullptr) continue;
+        const std::size_t i = begin + j;
+        TrialObsScope scope(sinks.metrics[i].get(), sinks.tracers[i].get(),
+                            sinks.flights[i].get());
+        try {
+          if (!live[j]->done()) live[j]->advance(quantum);
+          if (live[j]->done()) {
+            live[j]->finish();
+            live[j].reset();  // destructors may emit obs records
+            --remaining;
+          }
+        } catch (...) {
+          errors[i] = std::current_exception();
+          live[j].reset();
+          --remaining;
+        }
+      }
+    }
+  };
+
+  run_pool(jobs_for(shards), shards, run_shard);
+  sinks.merge(seeds_);
 
   trials_run_ += trials;
   wall_seconds_ += std::chrono::duration<double>(

@@ -23,10 +23,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <type_traits>
 #include <vector>
 
 #include "sim/seed_seq.h"
+#include "sim/time.h"
 
 namespace satin::obs {
 class MetricsRegistry;
@@ -35,6 +37,8 @@ class FlightRecorder;
 }  // namespace satin::obs
 
 namespace satin::sim {
+
+class LockstepTrial;  // sim/batch.h
 
 struct TrialContext {
   std::size_t index = 0;    // submission order, 0-based
@@ -105,6 +109,22 @@ class TrialRunner {
     });
     return results;
   }
+
+  // Sharded lockstep execution (the engine under sim::BatchRunner):
+  // trials are grouped into consecutive shards of `shard_size`; a worker
+  // claims a whole shard, constructs its trials via `make`, and advances
+  // them round-robin, one `quantum` of simulated time each, until all
+  // finish. Obs sinks stay PER TRIAL — installed around every construct /
+  // advance / finish call — and the final merge is run()'s
+  // submission-order merge, so for any shard size the output is
+  // byte-identical to run() provided each trial is insensitive to
+  // run_for slicing (event-engine trials are by construction).
+  // Exceptions are captured per trial; a throwing trial is destroyed
+  // (under its sinks) and its shard-mates continue.
+  void run_sharded(
+      std::size_t trials, std::size_t shard_size, Duration quantum,
+      const std::function<std::unique_ptr<LockstepTrial>(const TrialContext&)>&
+          make);
 
   // Host wall-clock spent inside run(), cumulative across calls, and the
   // trial throughput it implies. Host timing is intentionally NOT written

@@ -1,5 +1,7 @@
 #include "sim/rng.h"
 
+#include <atomic>
+
 namespace satin::sim {
 
 namespace {
@@ -40,6 +42,27 @@ void Mt19937_64::refill() {
   next_ = 0;
 }
 
+void Mt19937_64::generate_block(result_type* out, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    if (next_ >= kStateSize) refill();
+    const std::size_t run =
+        std::min<std::size_t>(n - done, kStateSize - next_);
+    const result_type* src = state_ + next_;
+    // Pure bit ops over a contiguous run: vectorizes at this TU's -O3.
+    for (std::size_t j = 0; j < run; ++j) {
+      result_type y = src[j];
+      y ^= (y >> 29) & 0x5555555555555555ull;
+      y ^= (y << 17) & 0x71D67FFFEDA60000ull;
+      y ^= (y << 37) & 0xFFF7EEE000000000ull;
+      y ^= y >> 43;
+      out[done + j] = y;
+    }
+    next_ += static_cast<unsigned>(run);
+    done += run;
+  }
+}
+
 Rng Rng::fork(std::string_view name) {
   const std::uint64_t mixed = fnv1a(name) ^ next_u64();
   return Rng(mixed);
@@ -50,6 +73,155 @@ double Rng::triangular(double lo, double mode, double hi) {
   const double c = (mode - lo) / (hi - lo);
   if (u < c) return lo + std::sqrt(u * (hi - lo) * (mode - lo));
   return hi - std::sqrt((1.0 - u) * (hi - lo) * (hi - mode));
+}
+
+// --------------------------------------------------------------------------
+// Kernel dispatch.
+
+namespace detail {
+
+namespace base {
+extern const DrawKernels kKernels;
+}
+#if defined(SATIN_KERNELS_HAVE_AVX2)
+namespace avx2 {
+extern const DrawKernels kKernels;
+}
+#endif
+
+namespace {
+
+const DrawKernels* pick_kernels() {
+#if defined(SATIN_KERNELS_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return &avx2::kKernels;
+#endif
+  return &base::kKernels;
+}
+
+std::atomic<const DrawKernels*> g_kernels{nullptr};
+
+}  // namespace
+
+const DrawKernels& draw_kernels() {
+  const DrawKernels* k = g_kernels.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = pick_kernels();
+    g_kernels.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+const DrawKernels& base_draw_kernels() { return base::kKernels; }
+
+void force_base_draw_kernels(bool on) {
+  g_kernels.store(on ? &base::kKernels : pick_kernels(),
+                  std::memory_order_release);
+}
+
+}  // namespace detail
+
+// --------------------------------------------------------------------------
+// Block streams. Refills run whole kernel chunks, so buffers carry one
+// chunk of head-room past the block target; everything is sized in the
+// constructor — steady-state draws never allocate (the bench_micro churn
+// gate covers this).
+
+CanonicalStream::CanonicalStream(Rng rng, DrawMode mode, std::size_t block)
+    : rng_(rng), mode_(mode), block_(block < 1 ? 1 : block) {
+  if (mode_ == DrawMode::kBatched) buf_.resize(block_);
+}
+
+void CanonicalStream::refill() {
+  detail::draw_kernels().canonical_block(rng_.engine(), buf_.data(), block_);
+  size_ = block_;
+  pos_ = 0;
+}
+
+NormalStream::NormalStream(Rng rng, double mean, double stddev, DrawMode mode,
+                           std::size_t block)
+    : rng_(rng),
+      mean_(mean),
+      stddev_(stddev),
+      mode_(mode),
+      block_(block < 1 ? 1 : block) {
+  if (mode_ == DrawMode::kBatched) {
+    buf_.resize(block_ + detail::kKernelChunkPairs);
+  }
+}
+
+void NormalStream::refill() {
+  const detail::DrawKernels& k = detail::draw_kernels();
+  std::size_t n = 0;
+  while (n < block_) {
+    n = k.normal_block(rng_.engine(), mean_, stddev_, buf_.data(), n,
+                       detail::kKernelChunkPairs);
+  }
+  size_ = n;
+  pos_ = 0;
+}
+
+TruncatedNormalStream::TruncatedNormalStream(Rng rng, double mean,
+                                             double stddev, double lo,
+                                             double hi, DrawMode mode,
+                                             std::size_t block)
+    : rng_(rng),
+      mean_(mean),
+      stddev_(stddev),
+      lo_(lo),
+      hi_(hi),
+      mode_(mode),
+      block_(block < 1 ? 1 : block) {
+  if (mode_ == DrawMode::kBatched) {
+    buf_.resize(block_ + detail::kKernelChunkPairs);
+  }
+}
+
+void TruncatedNormalStream::refill() {
+  const detail::DrawKernels& k = detail::draw_kernels();
+  std::size_t n = 0;
+  while (n < block_) {
+    n = k.truncated_normal_block(rng_.engine(), mean_, stddev_, lo_, hi_,
+                                 &misses_, buf_.data(), n,
+                                 detail::kKernelChunkPairs);
+  }
+  size_ = n;
+  pos_ = 0;
+}
+
+ExponentialStream::ExponentialStream(Rng rng, double mean, DrawMode mode,
+                                     std::size_t block)
+    : rng_(rng), mean_(mean), mode_(mode), block_(block < 1 ? 1 : block) {
+  if (mode_ == DrawMode::kBatched) buf_.resize(block_);
+}
+
+void ExponentialStream::refill() {
+  detail::draw_kernels().exponential_block(rng_.engine(), mean_, buf_.data(),
+                                           block_);
+  size_ = block_;
+  pos_ = 0;
+}
+
+LognormalStream::LognormalStream(Rng rng, double mu, double sigma,
+                                 DrawMode mode, std::size_t block)
+    : rng_(rng),
+      mu_(mu),
+      sigma_(sigma),
+      mode_(mode),
+      block_(block < 1 ? 1 : block) {
+  if (mode_ == DrawMode::kBatched) {
+    buf_.resize(block_ + detail::kKernelChunkPairs);
+  }
+}
+
+void LognormalStream::refill() {
+  const detail::DrawKernels& k = detail::draw_kernels();
+  std::size_t n = 0;
+  while (n < block_) {
+    n = k.lognormal_block(rng_.engine(), mu_, sigma_, buf_.data(), n,
+                          detail::kKernelChunkPairs);
+  }
+  size_ = n;
+  pos_ = 0;
 }
 
 }  // namespace satin::sim

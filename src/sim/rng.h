@@ -23,12 +23,14 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <random>
 #include <string_view>
 #include <vector>
 
+#include "sim/fastmath.h"
 #include "sim/time.h"
 
 namespace satin::sim {
@@ -63,6 +65,12 @@ class Mt19937_64 {
     y ^= y >> 43;
     return y;
   }
+
+  // Writes the next n draws — the exact sequence n calls of operator()
+  // would yield — produced run-wise over the state buffer so the
+  // tempering loop vectorizes (rng.cpp compiles it at -O3). The batched
+  // draw pipeline's bottom layer.
+  void generate_block(result_type* out, std::size_t n);
 
  private:
   static constexpr unsigned kStateSize = 312;
@@ -103,10 +111,16 @@ class Rng {
 
   bool bernoulli(double p) { return canonical() < p; }
 
-  // Marsaglia polar method, replicating std::normal_distribution exactly —
-  // including the historical quirk that this method constructed a fresh
-  // distribution per call, so the polar method's cached second variate is
-  // always discarded (keeping it would shift every downstream draw).
+  // Marsaglia polar method, replicating std::normal_distribution's
+  // consumption pattern exactly — including the historical quirk that
+  // this method constructed a fresh distribution per call, so the polar
+  // method's cached second variate is always discarded (keeping it would
+  // shift every downstream draw). The log is the in-repo fm_log (PR-8):
+  // the batched pipeline must reproduce these values lane for lane, which
+  // no libm build can promise — so the scalar oracle and the vector
+  // kernels share one log. This is the run-of-record stream;
+  // tests/sim/rng_test.cpp pins it against an independently written
+  // reference plus golden draws.
   double normal(double mean, double stddev) {
     double x, y, r2;
     do {
@@ -114,7 +128,7 @@ class Rng {
       y = 2.0 * canonical() - 1.0;
       r2 = x * x + y * y;
     } while (r2 > 1.0 || r2 == 0.0);
-    const double mult = std::sqrt(-2.0 * std::log(r2) / r2);
+    const double mult = std::sqrt(-2.0 * fm_log(r2) / r2);
     return y * mult * stddev + mean;
   }
 
@@ -132,12 +146,12 @@ class Rng {
 
   double exponential(double mean) {
     const double lambda = 1.0 / mean;  // divide like the std:: adaptor did
-    return -std::log(1.0 - canonical()) / lambda;
+    return -fm_log(1.0 - canonical()) / lambda;
   }
 
   // Log-normal parameterized by the mean/sigma of the underlying normal.
   double lognormal(double mu, double sigma) {
-    return std::exp(sigma * normal(0.0, 1.0) + mu);
+    return fm_exp(sigma * normal(0.0, 1.0) + mu);
   }
 
   double triangular(double lo, double mode, double hi);
@@ -170,6 +184,210 @@ class Rng {
   }
 
   Mt19937_64 engine_;
+};
+
+// ---------------------------------------------------------------------------
+// Batched draw pipeline (PR-8).
+//
+// The detection duel is draw-bound (~672M truncated normals per bench run)
+// and every hot consumer draws from a *dedicated* substream with fixed
+// parameters. That makes the draws precomputable: a block kernel refills
+// the engine a few hundred draws at a time and pushes them through the
+// polar/filter transforms as flat array passes that auto-vectorize. The
+// schedule is filter-compaction — canonical pairs are consumed strictly in
+// stream order, each pair either polar-rejects (no output) or yields a
+// candidate that the truncation filter keeps or drops — which is exactly
+// the order the scalar per-draw loop consumes them in, so the block
+// outputs are bit-identical to the scalar oracle for any block size or
+// vector width. tests/sim/rng_test.cpp differentials every distribution
+// at block sizes {1,2,4,8,33}, including rejection-heavy tails.
+//
+// DrawMode selects per consumer: kScalar is the per-draw oracle (the
+// --batch=1 run of record), kBatched the block pipeline. Both modes read
+// the same substreams, so their outputs are byte-identical by contract,
+// not by luck.
+// ---------------------------------------------------------------------------
+
+enum class DrawMode {
+  kScalar = 0,   // per-draw loop; differential oracle and --batch=1 path
+  kBatched = 1,  // block-kernel pipeline, bit-identical to kScalar
+};
+
+namespace detail {
+
+// Exact u64 -> double in vectorizable ops: split halves, each exact,
+// one rounding in the final add — the same value static_cast produces.
+SATIN_FM_INLINE double u64_to_double_exact(std::uint64_t u) {
+  const double dhi = std::bit_cast<double>((u >> 32) | 0x4530000000000000ull);
+  const double dlo = std::bit_cast<double>((u & 0xFFFFFFFFull) |
+                                           0x4330000000000000ull);
+  return (dhi - (0x1p84 + 0x1p52)) + dlo;
+}
+
+// Rng::canonical() in vectorizable ops (the clamp becomes a blend).
+SATIN_FM_INLINE double canonical_from_u64(std::uint64_t u) {
+  const double r = u64_to_double_exact(u) * 0x1p-64;
+  return r < 1.0 ? r : std::bit_cast<double>(0x3FEFFFFFFFFFFFFFull);
+}
+
+// Engine draws consumed per kernel call sit on the stack; this bounds the
+// scratch (and the per-call overshoot a stream buffer must absorb).
+inline constexpr std::size_t kKernelChunkPairs = 512;
+
+// One compiled flavor of the block kernels (sim/rng_kernels.inc). The
+// base flavor uses the project ISA; wider flavors are the same source
+// compiled with vector extensions enabled, selected at runtime.
+struct DrawKernels {
+  // Fills out[0..n) with canonical [0,1) draws, one engine draw each.
+  void (*canonical_block)(Mt19937_64& eng, double* out, std::size_t n);
+  // Consumes `pairs` canonical pairs, appends the polar-accepted normals
+  // (scaled by stddev/mean) at out[count..]; returns the new count.
+  std::size_t (*normal_block)(Mt19937_64& eng, double mean, double stddev,
+                              double* out, std::size_t count,
+                              std::size_t pairs);
+  // As normal_block, filtered to [lo, hi]. `misses` carries the count of
+  // consecutive out-of-range candidates across calls so the scalar
+  // oracle's 1024-try clamp fallback reproduces exactly.
+  std::size_t (*truncated_normal_block)(Mt19937_64& eng, double mean,
+                                        double stddev, double lo, double hi,
+                                        int* misses, double* out,
+                                        std::size_t count, std::size_t pairs);
+  // Fills out[0..n) with Exp(mean) draws, one engine draw each.
+  void (*exponential_block)(Mt19937_64& eng, double mean, double* out,
+                            std::size_t n);
+  // Consumes pairs, appends exp(sigma * N(0,1) + mu) draws.
+  std::size_t (*lognormal_block)(Mt19937_64& eng, double mu, double sigma,
+                                 double* out, std::size_t count,
+                                 std::size_t pairs);
+  const char* isa;  // "base", "avx2", ... (for bench labels)
+};
+
+// Widest flavor the running CPU supports (resolved once).
+const DrawKernels& draw_kernels();
+// Project-ISA flavor, always available — the cross-ISA differential
+// tests compare it against draw_kernels().
+const DrawKernels& base_draw_kernels();
+// Test hook: force draw_kernels() to the base flavor (false restores CPU
+// dispatch). Not thread-safe against concurrent first use; call from
+// test setup only.
+void force_base_draw_kernels(bool on);
+
+}  // namespace detail
+
+// Default stream block: draws precomputed per refill (plus up to one
+// kernel-chunk overshoot of buffer head-room for the pair-fed kernels).
+inline constexpr std::size_t kDefaultDrawBlock = 4096;
+
+// Buffered single-distribution draw streams. Each owns a dedicated
+// engine (fork one per consumer per distribution): bulk precomputation is
+// only order-identical to per-draw consumption when nothing else reads
+// the stream. In kScalar mode next() is the per-draw oracle on the same
+// engine, so a consumer's draw sequence is independent of DrawMode.
+class CanonicalStream {
+ public:
+  CanonicalStream(Rng rng, DrawMode mode,
+                  std::size_t block = kDefaultDrawBlock);
+  double next() {
+    if (mode_ == DrawMode::kScalar) return rng_.uniform();
+    if (pos_ == size_) refill();
+    return buf_[pos_++];
+  }
+
+ private:
+  void refill();
+  Rng rng_;
+  DrawMode mode_;
+  std::size_t block_;
+  std::size_t pos_ = 0, size_ = 0;
+  std::vector<double> buf_;
+};
+
+class NormalStream {
+ public:
+  NormalStream(Rng rng, double mean, double stddev, DrawMode mode,
+               std::size_t block = kDefaultDrawBlock);
+  double next() {
+    if (mode_ == DrawMode::kScalar) return rng_.normal(mean_, stddev_);
+    if (pos_ == size_) refill();
+    return buf_[pos_++];
+  }
+
+ private:
+  void refill();
+  Rng rng_;
+  double mean_, stddev_;
+  DrawMode mode_;
+  std::size_t block_;
+  std::size_t pos_ = 0, size_ = 0;
+  std::vector<double> buf_;
+};
+
+class TruncatedNormalStream {
+ public:
+  TruncatedNormalStream(Rng rng, double mean, double stddev, double lo,
+                        double hi, DrawMode mode,
+                        std::size_t block = kDefaultDrawBlock);
+  double next() {
+    if (mode_ == DrawMode::kScalar) {
+      return rng_.truncated_normal(mean_, stddev_, lo_, hi_);
+    }
+    if (pos_ == size_) refill();
+    return buf_[pos_++];
+  }
+
+ private:
+  void refill();
+  Rng rng_;
+  double mean_, stddev_, lo_, hi_;
+  DrawMode mode_;
+  std::size_t block_;
+  int misses_ = 0;
+  std::size_t pos_ = 0, size_ = 0;
+  std::vector<double> buf_;
+};
+
+class ExponentialStream {
+ public:
+  ExponentialStream(Rng rng, double mean, DrawMode mode,
+                    std::size_t block = kDefaultDrawBlock);
+  double next() {
+    if (mode_ == DrawMode::kScalar) return rng_.exponential(mean_);
+    if (pos_ == size_) refill();
+    return buf_[pos_++];
+  }
+
+ private:
+  void refill();
+  Rng rng_;
+  double mean_;
+  DrawMode mode_;
+  std::size_t block_;
+  std::size_t pos_ = 0, size_ = 0;
+  std::vector<double> buf_;
+};
+
+// Precondition (batched kernel): |mu| + 12.2 * |sigma| <= 692, so that
+// sigma * N + mu stays inside fm_exp_core's window. The polar method
+// bounds |N| by sqrt(-2 ln(r2_min)) < 12.2 (r2 >= 2^-106 when nonzero),
+// so any physically meaningful parameterization qualifies.
+class LognormalStream {
+ public:
+  LognormalStream(Rng rng, double mu, double sigma, DrawMode mode,
+                  std::size_t block = kDefaultDrawBlock);
+  double next() {
+    if (mode_ == DrawMode::kScalar) return rng_.lognormal(mu_, sigma_);
+    if (pos_ == size_) refill();
+    return buf_[pos_++];
+  }
+
+ private:
+  void refill();
+  Rng rng_;
+  double mu_, sigma_;
+  DrawMode mode_;
+  std::size_t block_;
+  std::size_t pos_ = 0, size_ = 0;
+  std::vector<double> buf_;
 };
 
 }  // namespace satin::sim

@@ -16,6 +16,39 @@
 
 namespace satin::sim {
 
+namespace time_detail {
+
+// Bit-exact replacement for std::llround (round half away from zero) on
+// the |x| < 2^63 domain the Time constructors use. Two reasons it is not
+// simply std::llround: the baseline x86-64 build emits a libm PLT call
+// for llround on every seconds-to-Time conversion (hundreds of millions
+// per bench), and the batched draw pipeline precomputes conversions in
+// vector kernels, so the rounding must be expressible in IEEE-exact
+// add/sub/compare ops that mean the same thing at every vector width.
+// tests/sim/time_test.cpp differentials this against std::llround over
+// random and adversarial (exact .5, huge, negative) inputs.
+inline std::int64_t llround_exact(double x) {
+  if (!(x < 0x1p52 && x > -0x1p52)) {
+    // Already integral (or non-finite, where llround is unspecified too).
+    return static_cast<std::int64_t>(x);
+  }
+  const double ax = x < 0.0 ? -x : x;
+  // Shift into the 2^52 window and back: rounds ax to the nearest
+  // integer, ties to even (ax + c lands in [2^52, 2^53), where the ulp is
+  // exactly 1 — ax is non-negative, so the plain 2^52 constant covers the
+  // whole guarded range). d = ax - r is exact and |d| <= 0.5; the only
+  // correction needed is the exact tie, which llround rounds up (away
+  // from zero, applied to the magnitude).
+  const double c = 0x1p52;
+  const double r = (ax + c) - c;
+  const double d = ax - r;
+  std::int64_t i = static_cast<std::int64_t>(r);
+  i += d == 0.5 ? 1 : 0;
+  return x < 0.0 ? -i : i;
+}
+
+}  // namespace time_detail
+
 // A point in simulated time, or a span of it, counted in picoseconds.
 // Value type; totally ordered; arithmetic never silently overflows in
 // practice because simulations stay far below the 106-day range.
@@ -37,16 +70,16 @@ class Time {
 
   // Fractional constructors round to the nearest picosecond.
   static Time from_ns_f(double ns) {
-    return Time(static_cast<std::int64_t>(std::llround(ns * 1e3)));
+    return Time(time_detail::llround_exact(ns * 1e3));
   }
   static Time from_us_f(double us) {
-    return Time(static_cast<std::int64_t>(std::llround(us * 1e6)));
+    return Time(time_detail::llround_exact(us * 1e6));
   }
   static Time from_ms_f(double ms) {
-    return Time(static_cast<std::int64_t>(std::llround(ms * 1e9)));
+    return Time(time_detail::llround_exact(ms * 1e9));
   }
   static Time from_sec_f(double s) {
-    return Time(static_cast<std::int64_t>(std::llround(s * 1e12)));
+    return Time(time_detail::llround_exact(s * 1e12));
   }
 
   static constexpr Time zero() { return Time(0); }
@@ -77,8 +110,7 @@ class Time {
     return a * k;
   }
   friend Time operator*(Time a, double k) {
-    return Time(static_cast<std::int64_t>(
-        std::llround(static_cast<double>(a.ps_) * k)));
+    return Time(time_detail::llround_exact(static_cast<double>(a.ps_) * k));
   }
   template <typename I>
     requires std::is_integral_v<I>

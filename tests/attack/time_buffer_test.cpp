@@ -90,6 +90,27 @@ TEST(SharedTimeBuffer, SingleCoreProbingScalesDelaysDown) {
   EXPECT_NEAR(acc_one.mean() / acc_all.mean(), 0.25, 0.05);
 }
 
+TEST(SharedTimeBuffer, BatchedModeIsBitIdenticalToScalar) {
+  // DrawMode is a runtime knob: a batched buffer must produce the exact
+  // staleness sequence (and spike decisions) of a scalar one seeded the
+  // same way — this is the foundation of the --batch=K identity gate.
+  const auto m = model();
+  SharedTimeBuffer scalar(6, m, sim::Rng(9), 100.0, 6,
+                          sim::DrawMode::kScalar);
+  SharedTimeBuffer batched(6, m, sim::Rng(9), 100.0, 6,
+                           sim::DrawMode::kBatched);
+  scalar.report(0, Time::zero());
+  batched.report(0, Time::zero());
+  for (int i = 0; i < 50'000; ++i) {
+    const Time at = Time::from_us(i);
+    ASSERT_EQ(scalar.observed_staleness(0, at).ps(),
+              batched.observed_staleness(0, at).ps())
+        << "read " << i;
+  }
+  EXPECT_EQ(scalar.spiked_reads(), batched.spiked_reads());
+  EXPECT_GT(scalar.spiked_reads(), 0u);  // the rare path was exercised
+}
+
 TEST(SharedTimeBuffer, Validation) {
   const auto m = model();
   EXPECT_THROW(SharedTimeBuffer(0, m, sim::Rng(1), 1000.0, 6),

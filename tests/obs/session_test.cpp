@@ -160,6 +160,41 @@ TEST(ObsSessionTest, MetricsStableDropsVolatileGauges) {
   std::remove(stable.c_str());
 }
 
+TEST(ObsSessionTest, BatchFlagParsedAndStripped) {
+  {
+    Argv argv({"prog", "--batch=8", "-x"});
+    ObsSession session(argv.argc, argv.ptrs.data());
+    EXPECT_TRUE(session.batch_requested());
+    EXPECT_EQ(session.batch(), 8);
+    EXPECT_EQ(session.batch(3), 8);
+    // The flag is stripped; nothing else is installed for it.
+    ASSERT_EQ(argv.argc, 2);
+    EXPECT_STREQ(argv.ptrs[1], "-x");
+    EXPECT_FALSE(session.trace_enabled());
+    EXPECT_FALSE(session.metrics_enabled());
+  }
+  {
+    Argv argv({"prog"});
+    ObsSession session(argv.argc, argv.ptrs.data());
+    EXPECT_FALSE(session.batch_requested());
+    EXPECT_EQ(session.batch(), 1);
+    EXPECT_EQ(session.batch(4), 4);
+  }
+  {
+    // Nonsense values behave as if the flag were absent.
+    Argv argv({"prog", "--batch=0"});
+    ObsSession session(argv.argc, argv.ptrs.data());
+    EXPECT_FALSE(session.batch_requested());
+    EXPECT_EQ(session.batch(), 1);
+  }
+  {
+    Argv argv({"prog", "--batch=-3"});
+    ObsSession session(argv.argc, argv.ptrs.data());
+    EXPECT_FALSE(session.batch_requested());
+    EXPECT_EQ(session.batch(7), 7);
+  }
+}
+
 TEST(ObsSessionTest, MetricsOnlyRunWritesNoTrace) {
   const std::string path = testing::TempDir() + "session_only.metrics.json";
   Argv argv({"prog", "--metrics=" + path});

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
+
 namespace satin::sim {
 namespace {
 
@@ -83,6 +86,52 @@ TEST(Time, SubNanosecondResolutionForTable1) {
   const Time a = Time::from_sec_f(6.67e-9 * 100);
   const Time b = Time::from_sec_f(6.71e-9 * 100);
   EXPECT_NE(a, b);
+}
+
+// The fractional factories route through time_detail::llround_exact — a
+// branch-light, libm-free llround the draw kernels can vectorize through.
+// It must be bit-exact against std::llround (round to nearest, ties away
+// from zero) everywhere the factories can see.
+TEST(Time, LlroundExactMatchesStdLlroundOnEdgeCases) {
+  const double cases[] = {
+      0.0,       -0.0,      0.5,       -0.5,       1.5,     -1.5,
+      2.5,       -2.5,      0.49999999999999994,   // largest double < 0.5
+      -0.49999999999999994,  1e-300,   -1e-300,
+      4503599627370495.5,    // 2^52 - 0.5: largest representable .5 tie
+      -4503599627370495.5,   2251799813685248.75,  // 2^51 + 0.75
+      -2251799813685248.75,  0x1p52,   -0x1p52,    0x1p52 + 2.0,
+      -0x1p52 - 2.0,         0x1p62,   -0x1p62,    6.67e2, 1.234e6,
+  };
+  for (const double x : cases) {
+    EXPECT_EQ(time_detail::llround_exact(x), std::llround(x)) << "x = " << x;
+  }
+}
+
+TEST(Time, LlroundExactMatchesStdLlroundRandomized) {
+  std::mt19937_64 g(46);
+  for (int i = 0; i < 200000; ++i) {
+    double x;
+    switch (i % 4) {
+      case 0:  // typical seconds-to-picoseconds magnitudes
+        x = std::uniform_real_distribution<double>(-1e9, 1e9)(g);
+        break;
+      case 1:  // small values rounding to 0 or +-1
+        x = std::uniform_real_distribution<double>(-2.0, 2.0)(g);
+        break;
+      case 2:  // exact .5 ties of both signs
+        x = static_cast<double>(
+                std::uniform_int_distribution<std::int64_t>(-(1ll << 50),
+                                                            1ll << 50)(g)) +
+            0.5;
+        break;
+      default:  // around the 2^52 integer threshold
+        x = std::uniform_real_distribution<double>(0x1p51, 0x1p53)(g);
+        if (i % 8 >= 4) x = -x;
+        break;
+    }
+    ASSERT_EQ(time_detail::llround_exact(x), std::llround(x))
+        << "x = " << std::hexfloat << x;
+  }
 }
 
 }  // namespace
