@@ -11,6 +11,7 @@
 // Against SATIN's area 14 the touch beats the recovery (alarm); against
 // the PKM whole-kernel pass the recovery beats the touch (evasion) —
 // Eq. 1 decided both, on the same attacker.
+#include <chrono>
 #include <vector>
 
 #include "attack/prober.h"
@@ -130,6 +131,7 @@ int main(int argc, char** argv) {
   satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
   bench::heading("Fig. 3: the race, measured (times relative to t_start, s)");
+  const auto bench_start = std::chrono::steady_clock::now();
 
   // SATIN: area 14 (~598 KB, hijack 200 KB deep) — touch < recovery.
   core::SatinConfig satin_config;
@@ -146,5 +148,9 @@ int main(int argc, char** argv) {
       "\nEq. 1: the attacker escapes iff Ts_switch + S*Ts_1byte >\n"
       "Tns_delay + Tns_recover. Same attacker, same constants — only S\n"
       "(the hijack's depth in the scanned range) differs.\n");
+  bench::json_row("bench_fig3_race_timeline", 2, 1,
+                  std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - bench_start)
+                      .count());
   return 0;
 }

@@ -3,6 +3,8 @@
 // 50 secure enter/leave round trips per core type (Ts_switch range
 // 2.38e-6..3.60e-6 s) and 50 trace recoveries per core type
 // (Tns_recover: A53 5.80e-3 s, A57 4.96e-3 s).
+#include <chrono>
+
 #include "attack/rootkit.h"
 #include "bench/common.h"
 #include "scenario/scenario.h"
@@ -11,6 +13,7 @@
 int main(int argc, char** argv) {
   satin::bench::ObsGuard obs(argc, argv);
   using namespace satin;
+  const auto bench_start = std::chrono::steady_clock::now();
   scenario::Scenario s;
 
   bench::heading("Ts_switch: context switch into the secure world (s)");
@@ -51,5 +54,9 @@ int main(int argc, char** argv) {
                    {acc.mean(), acc.max(), acc.min()});
     bench::sci_row(std::string(name) + " paper avg", {paper});
   }
+  bench::json_row("bench_tswitch_recovery", 4u * 50u, 1,
+                  std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - bench_start)
+                      .count());
   return 0;
 }

@@ -54,6 +54,19 @@ struct CampaignSpec {
   // oracle, so results are byte-identical for any value and it is NOT
   // folded into content_hash() (a resume may legally change it).
   int batch = 1;
+  // COW fork branch backend (sim/fork.h): > 0 replaces the persistent
+  // worker pool with fork()ed branch groups of this size, one child per
+  // trial. Every trial is still run_campaign_trial(spec, index) — a pure
+  // runtime knob like jobs/batch, so it is NOT folded into content_hash()
+  // and the journal/stats output is byte-identical for any value.
+  int branches = 0;
+  // Warm-prefix seconds for fork branching. The campaign REFUSES nonzero
+  // values at run time: the journal's crash-identity contract requires a
+  // trial to be a pure function of (spec, index), and a shared warm
+  // prefix would make results depend on group layout. The key exists so
+  // specs spell the knob uniformly with the sweep API; also excluded
+  // from content_hash().
+  double fork_prefix = 0.0;
 
   scenario::ScenarioConfig scenario;
   // True when the spec pinned platform.seed: trial 0 keeps it (the

@@ -47,6 +47,9 @@ struct CampaignOptions {
   std::uint64_t shard_size = 0;
   double trial_timeout_s = 0.0;
   int max_retries = -1;
+  // COW fork branch group size (sim/fork.h); -1 = take the spec's value,
+  // 0 explicitly disables forking, > 0 replaces the worker pool.
+  int branches = -1;
   // `resume` refuses to start a fresh journal; `run` creates one.
   bool require_existing_journal = false;
   // Per-trial flight ring capacity for worker recorders (0 = full stream).

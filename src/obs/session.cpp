@@ -133,6 +133,16 @@ ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity) {
     batch_ = std::atoi(batch_value.c_str());
     if (batch_ < 1) batch_ = -1;  // nonsense value: behave as if absent
   }
+  const std::string branches_value = take_flag(argc, argv, "branches");
+  if (!branches_value.empty()) {
+    branches_ = std::atoi(branches_value.c_str());
+    if (branches_ < 1) branches_ = -1;  // nonsense value: behave as if absent
+  }
+  const std::string prefix_value = take_flag(argc, argv, "fork-prefix");
+  if (!prefix_value.empty()) {
+    fork_prefix_s_ = std::atof(prefix_value.c_str());
+    if (!(fork_prefix_s_ >= 0.0)) fork_prefix_s_ = 0.0;  // also rejects NaN
+  }
   const std::string cache_value = take_flag(argc, argv, "digest-cache");
   if (cache_value == "off") {
     digest_cache_ = false;

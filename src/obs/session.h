@@ -41,8 +41,8 @@ void snapshot_engine_metrics(const sim::Engine& engine,
 class ObsSession {
  public:
   // Consumes --trace= / --metrics= / --metrics-stable / --faults= /
-  // --jobs= / --batch= / --digest-cache= / --flight= from argv (argc is
-  // rewritten).
+  // --jobs= / --batch= / --branches= / --fork-prefix= / --digest-cache= /
+  // --flight= from argv (argc is rewritten).
   // When no flag is present the session installs nothing and costs
   // nothing. The faults spec is only stripped and stored — the obs layer
   // knows nothing about fault injection; pass faults_spec() to
@@ -81,6 +81,19 @@ class ObsSession {
   // byte-identical for every value (CI-gated), so it never belongs in a
   // result-shaping config hash.
   int batch(int fallback = 1) const { return batch_ >= 1 ? batch_ : fallback; }
+  bool branches_requested() const { return branches_ >= 1; }
+  // Parsed --branches value (COW fork branch count for sim::ForkServer);
+  // `fallback` when absent. Like --jobs/--batch, a pure runtime knob:
+  // with --fork-prefix=0 the output is byte-identical for every value
+  // (CI-gated), so it never belongs in a result-shaping config hash.
+  int branches(int fallback = 0) const {
+    return branches_ >= 1 ? branches_ : fallback;
+  }
+  // Parsed --fork-prefix value: simulated seconds of warm prefix shared
+  // across fork branches. 0 (the default) keeps each branch a full
+  // independent replay — the byte-identity oracle. Nonzero values trade
+  // identity for speed and are recorded in bench provenance.
+  double fork_prefix_s() const { return fork_prefix_s_; }
   const std::string& trace_path() const { return trace_path_; }
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& faults_spec() const { return faults_spec_; }
@@ -106,6 +119,8 @@ class ObsSession {
   std::size_t flight_ring_ = 0;  // 0 = spill mode
   int jobs_ = -1;                // -1 = flag absent
   int batch_ = -1;               // -1 = flag absent (or nonsense value)
+  int branches_ = -1;            // -1 = flag absent (or nonsense value)
+  double fork_prefix_s_ = 0.0;   // simulated seconds; 0 = oracle mode
   bool digest_cache_ = true;
   bool metrics_stable_ = false;
   std::unique_ptr<TraceRecorder> recorder_;

@@ -1,0 +1,532 @@
+#include "sim/fork.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/flight/audit.h"
+#include "obs/flight/recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/parallel.h"
+
+namespace satin::sim {
+
+namespace {
+
+constexpr int kBackoffBaseMs = 25;
+constexpr int kBackoffCapMs = 500;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Raw-fd line write; children must never touch inherited stdio buffers.
+bool write_line(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  const char* p = out.data();
+  std::size_t left = out.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string sanitize_message(std::string msg) {
+  for (char& c : msg) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return msg;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex16(std::string_view s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t ForkServer::record_checksum(const std::string& payload) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : payload) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct ForkServer::Slot {
+  pid_t pid = -1;
+  int fd = -1;  // child's result pipe (read end)
+  std::size_t branch = 0;
+  std::string buf;
+  double last_activity = 0.0;
+  bool resolved = false;  // an "R"/"E" record landed; EOF is expected
+};
+
+ForkServer::ForkServer(ForkServerOptions options)
+    : options_(std::move(options)) {}
+
+ForkServer::~ForkServer() {
+  // run() reaps everything it forked; nothing to do beyond scratch
+  // cleanup if the caller never merged.
+  if (!scratch_.empty() && merged_) ::rmdir(scratch_.c_str());
+}
+
+std::string ForkServer::metrics_path_for(std::size_t branch) const {
+  if (options_.metrics_path) return options_.metrics_path(branch);
+  return artifacts_dir_ + "/branch_" + std::to_string(branch) + ".met";
+}
+
+std::string ForkServer::flight_path_for(std::size_t branch) const {
+  if (options_.flight_path) return options_.flight_path(branch);
+  return artifacts_dir_ + "/branch_" + std::to_string(branch) + ".flt";
+}
+
+void ForkServer::remove_artifacts(std::size_t branch) const {
+  if (want_metrics_) ::unlink(metrics_path_for(branch).c_str());
+  if (want_flight_) ::unlink(flight_path_for(branch).c_str());
+}
+
+void ForkServer::child_main(
+    std::size_t branch, bool first_attempt, int fd,
+    const std::function<std::string(std::size_t)>& body) {
+  // A dead parent must kill us on the next pipe write, not wedge us.
+  signal(SIGPIPE, SIG_DFL);
+  if (!write_line(fd, "B " + std::to_string(branch))) _exit(3);
+
+  if (first_attempt &&
+      options_.chaos_kill_branch == static_cast<int>(branch)) {
+    raise(SIGKILL);
+  }
+  if (first_attempt &&
+      options_.chaos_hang_branch == static_cast<int>(branch)) {
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::string payload;
+  std::string error;
+  bool failed = false;
+
+  const std::string mpath = want_metrics_ ? metrics_path_for(branch) : "";
+  const std::string fpath = want_flight_ ? flight_path_for(branch) : "";
+
+  if (options_.inherit_sinks) {
+    // The installed sinks are this process's COW copies of the caller's
+    // warm-prefix recorders: keep recording into them, then persist the
+    // whole stream (prefix + branch). Traces are not transportable over
+    // the pipe — drop the inherited tracer so records aren't lost
+    // silently into a copy (the parent warns once).
+    obs::install_tracer(nullptr);
+    try {
+      payload = body(branch);
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    } catch (...) {
+      failed = true;
+      error = "unknown exception";
+    }
+    // Artifacts are persisted even for a failed branch: the unforked
+    // TrialRunner merges partially-recorded sinks before rethrowing.
+    if (auto* m = obs::metrics(); m != nullptr && want_metrics_) {
+      std::string err;
+      if (!m->save_binary(mpath, &err)) _exit(4);
+    }
+    if (auto* f = obs::flight(); f != nullptr && want_flight_) {
+      if (!f->save_to(fpath)) _exit(4);
+    }
+  } else {
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    std::unique_ptr<obs::FlightRecorder> flight;
+    if (want_metrics_) metrics = std::make_unique<obs::MetricsRegistry>();
+    if (want_flight_) {
+      obs::FlightRecorder::Options fopts;
+      fopts.path = fpath;
+      fopts.ring = options_.flight_ring;
+      flight = std::make_unique<obs::FlightRecorder>(fopts);
+    }
+    TrialObsScope scope(metrics.get(), nullptr, flight.get());
+    try {
+      payload = body(branch);
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    } catch (...) {
+      failed = true;
+      error = "unknown exception";
+    }
+    // Durable artifacts BEFORE the result record, so a record implies
+    // mergeable files (the campaign worker discipline).
+    if (flight != nullptr && !flight->close()) _exit(4);
+    if (metrics != nullptr) {
+      std::string err;
+      if (!metrics->save_binary(mpath, &err)) _exit(4);
+    }
+  }
+
+  std::string line;
+  if (failed) {
+    line = "E " + std::to_string(branch) + " " + sanitize_message(error);
+  } else {
+    std::string crc = hex16(record_checksum(payload));
+    if (first_attempt &&
+        options_.chaos_torn_branch == static_cast<int>(branch)) {
+      // Simulate a torn pipe record: checksum no longer matches.
+      crc[0] = crc[0] == '0' ? '1' : '0';
+    }
+    line = "R " + std::to_string(branch) + " crc=" + crc + " " + payload;
+  }
+  write_line(fd, line);
+  _exit(failed ? 1 : 0);
+}
+
+bool ForkServer::spawn(std::size_t branch, std::vector<Slot>& active,
+                       std::vector<int>& attempts) {
+  // A crashed prior attempt may have left partial artifacts; they must
+  // never leak into the merge.
+  remove_artifacts(branch);
+
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    outcomes_[branch].error = "pipe() failed";
+    return false;
+  }
+  const bool first_attempt = attempts[branch] == 0;
+  ++attempts[branch];
+  // The child inherits our stdio buffers; flush so it can't re-flush
+  // half-written output (it uses _exit, but body() code could flush).
+  std::fflush(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    outcomes_[branch].error = "fork() failed";
+    return false;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    // Close sibling pipes so one child's death can't be masked by
+    // another holding the write end open.
+    for (const Slot& s : active) {
+      if (s.fd >= 0) ::close(s.fd);
+    }
+    child_main(branch, first_attempt, fds[1],
+               *child_body_);  // never returns
+  }
+  ::close(fds[1]);
+  Slot slot;
+  slot.pid = pid;
+  slot.fd = fds[0];
+  slot.branch = branch;
+  slot.last_activity = now_seconds();
+  active.push_back(std::move(slot));
+  ++forks_;
+  return true;
+}
+
+std::vector<ForkOutcome> ForkServer::run(
+    std::size_t branches, const std::function<std::string(std::size_t)>& body) {
+  if (ran_) throw std::logic_error("ForkServer::run: single-use");
+  ran_ = true;
+  outcomes_.assign(branches, ForkOutcome{});
+  if (branches == 0) return outcomes_;
+  const double wall_start = now_seconds();
+
+  want_metrics_ = options_.always_metrics || obs::metrics() != nullptr;
+  want_flight_ = obs::flight() != nullptr;
+  if (obs::tracer() != nullptr) {
+    std::fprintf(stderr,
+                 "fork: per-branch traces are not captured across fork(); "
+                 "run unforked for --trace\n");
+  }
+  artifacts_dir_ = options_.scratch_dir;
+  const bool need_dir = (want_metrics_ && !options_.metrics_path) ||
+                        (want_flight_ && !options_.flight_path);
+  if (need_dir && artifacts_dir_.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string templ =
+        std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
+        "/satin-fork-XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      for (auto& o : outcomes_) o.error = "mkdtemp() failed";
+      return outcomes_;
+    }
+    scratch_ = buf.data();
+    artifacts_dir_ = scratch_;
+  }
+
+  int jobs = options_.jobs > 0 ? options_.jobs : TrialRunner::hardware_jobs();
+  if (static_cast<std::size_t>(jobs) > branches) {
+    jobs = static_cast<int>(branches);
+  }
+  if (jobs < 1) jobs = 1;
+
+  child_body_ = &body;
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < branches; ++i) queue.push_back(i);
+  std::vector<int> attempts(branches, 0);
+  std::vector<Slot> active;
+  active.reserve(static_cast<std::size_t>(jobs));
+
+  const auto fail_attempt = [&](Slot& slot, bool timed_out,
+                                const char* reason) {
+    if (timed_out && slot.pid > 0) ::kill(slot.pid, SIGKILL);
+    if (slot.pid > 0) {
+      int status = 0;
+      ::waitpid(slot.pid, &status, 0);
+      slot.pid = -1;
+    }
+    if (slot.fd >= 0) {
+      ::close(slot.fd);
+      slot.fd = -1;
+    }
+    ++crashes_;
+    if (timed_out) ++timeouts_;
+    const std::size_t branch = slot.branch;
+    if (attempts[branch] > options_.max_retries) {
+      outcomes_[branch].ok = false;
+      outcomes_[branch].error = "branch " + std::to_string(branch) + " " +
+                                reason + " after " +
+                                std::to_string(attempts[branch]) +
+                                " attempt(s)";
+      outcomes_[branch].attempts = attempts[branch];
+      remove_artifacts(branch);
+      return;
+    }
+    ++retries_;
+    // Exponential backoff before the re-fork: a systematic crash loop
+    // shouldn't melt the host while it burns its budget.
+    const int shift = std::min(attempts[branch] - 1, 8);
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min(kBackoffCapMs, kBackoffBaseMs << shift)));
+    queue.push_front(branch);
+  };
+
+  // One line of child protocol. Returns false when the slot must be
+  // treated as crashed (kill + retry ladder).
+  const auto handle_line = [&](Slot& slot, const std::string& line) -> bool {
+    slot.last_activity = now_seconds();
+    if (line.rfind("B ", 0) == 0) return true;  // heartbeat
+    if (line.rfind("E ", 0) == 0) {
+      std::size_t sp = line.find(' ', 2);
+      const std::string idx_str =
+          line.substr(2, sp == std::string::npos ? std::string::npos : sp - 2);
+      if (idx_str != std::to_string(slot.branch)) return false;
+      ForkOutcome& out = outcomes_[slot.branch];
+      out.ok = false;
+      out.error = sp == std::string::npos ? "branch failed"
+                                          : line.substr(sp + 1);
+      out.attempts = attempts[slot.branch];
+      out.has_artifacts = true;  // child persisted sinks before "E"
+      slot.resolved = true;
+      return true;
+    }
+    if (line.rfind("R ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 2);
+      if (sp == std::string::npos) return false;
+      if (line.substr(2, sp - 2) != std::to_string(slot.branch)) return false;
+      if (line.compare(sp + 1, 4, "crc=") != 0) return false;
+      const std::size_t crc_begin = sp + 5;
+      const std::size_t crc_end = line.find(' ', crc_begin);
+      std::uint64_t crc = 0;
+      if (crc_end == std::string::npos ||
+          !parse_hex16(
+              std::string_view(line).substr(crc_begin, crc_end - crc_begin),
+              crc)) {
+        return false;
+      }
+      const std::string payload = line.substr(crc_end + 1);
+      if (record_checksum(payload) != crc) return false;  // torn record
+      ForkOutcome& out = outcomes_[slot.branch];
+      out.ok = true;
+      out.payload = payload;
+      out.error.clear();
+      out.attempts = attempts[slot.branch];
+      out.has_artifacts = true;
+      slot.resolved = true;
+      return true;
+    }
+    return false;  // protocol violation
+  };
+
+  while (!queue.empty() || !active.empty()) {
+    while (!queue.empty() &&
+           active.size() < static_cast<std::size_t>(jobs)) {
+      const std::size_t branch = queue.front();
+      queue.pop_front();
+      spawn(branch, active, attempts);  // failure recorded in outcomes_
+    }
+    if (active.empty()) break;  // spawns failed outright
+
+    std::vector<pollfd> fds;
+    fds.reserve(active.size());
+    double next_deadline = now_seconds() + 60.0;
+    for (const Slot& slot : active) {
+      fds.push_back(pollfd{slot.fd, POLLIN, 0});
+      next_deadline =
+          std::min(next_deadline, slot.last_activity + options_.timeout_s);
+    }
+    const double wait_s = next_deadline - now_seconds();
+    const int timeout_ms =
+        wait_s <= 0.0
+            ? 0
+            : static_cast<int>(std::min(wait_s * 1000.0, 60000.0)) + 10;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    // Sweep slots newest-last; erase finished ones after the pass.
+    std::vector<std::size_t> dead;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      Slot& slot = active[k];
+      bool crashed = false;
+      bool eof = false;
+      if (ready > 0 &&
+          (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char chunk[4096];
+        const ssize_t n = ::read(slot.fd, chunk, sizeof(chunk));
+        if (n > 0) {
+          slot.buf.append(chunk, static_cast<std::size_t>(n));
+        } else if (n == 0) {
+          eof = true;
+        }
+        std::size_t nl;
+        while (!crashed &&
+               (nl = slot.buf.find('\n')) != std::string::npos) {
+          const std::string line = slot.buf.substr(0, nl);
+          slot.buf.erase(0, nl + 1);
+          if (!handle_line(slot, line)) crashed = true;
+        }
+      }
+      if (!crashed && !eof &&
+          now_seconds() - slot.last_activity > options_.timeout_s &&
+          !slot.resolved) {
+        std::fprintf(stderr,
+                     "fork: branch %zu (pid %d) wedged for %.1fs, killing\n",
+                     slot.branch, static_cast<int>(slot.pid),
+                     options_.timeout_s);
+        fail_attempt(slot, /*timed_out=*/true, "timed out");
+        dead.push_back(k);
+        continue;
+      }
+      if (crashed) {
+        if (slot.pid > 0) ::kill(slot.pid, SIGKILL);
+        fail_attempt(slot, /*timed_out=*/false, "sent a corrupt record");
+        dead.push_back(k);
+        continue;
+      }
+      if (eof) {
+        if (slot.resolved) {
+          int status = 0;
+          ::waitpid(slot.pid, &status, 0);
+          ::close(slot.fd);
+          dead.push_back(k);
+        } else {
+          fail_attempt(slot, /*timed_out=*/false, "crashed");
+          dead.push_back(k);
+        }
+      }
+    }
+    for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+  }
+
+  child_body_ = nullptr;
+  wall_seconds_ += now_seconds() - wall_start;
+  return outcomes_;
+}
+
+void ForkServer::merge_obs() {
+  if (merged_) return;
+  merged_ = true;
+  obs::MetricsRegistry* metrics = obs::metrics();
+  obs::FlightRecorder* flight = obs::flight();
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    if (!outcomes_[i].has_artifacts) continue;
+    if (metrics != nullptr && want_metrics_) {
+      std::string error;
+      if (!metrics->load_merge_binary(metrics_path_for(i), &error)) {
+        std::fprintf(stderr, "fork: %s (metrics gap)\n", error.c_str());
+      }
+    }
+    if (flight != nullptr && want_flight_) {
+      obs::FlightLog log;
+      std::string error;
+      if (!obs::read_flight_log(flight_path_for(i), log, &error)) {
+        std::fprintf(stderr, "fork: %s (flight gap)\n", error.c_str());
+      } else {
+        // Same convention as TrialRunner's submission-order merge: the
+        // parent emits the trial marker, then replays the branch stream.
+        const std::size_t global = options_.index_base + i;
+        flight->record(obs::FlightKind::kTrialBegin, Time::zero(),
+                       static_cast<std::uint64_t>(global),
+                       static_cast<int>(global),
+                       options_.marker_seed ? options_.marker_seed(global)
+                                            : 0);
+        obs::replay_flight_log(log, *flight);
+      }
+    }
+    if (!options_.keep_artifacts) remove_artifacts(i);
+  }
+  if (!scratch_.empty()) ::rmdir(scratch_.c_str());
+}
+
+std::vector<std::string> ForkServer::run_collect(
+    std::size_t branches, const std::function<std::string(std::size_t)>& body) {
+  const std::vector<ForkOutcome> outcomes = run(branches, body);
+  merge_obs();
+  for (const ForkOutcome& o : outcomes) {
+    if (!o.ok) throw std::runtime_error(o.error);
+  }
+  std::vector<std::string> payloads;
+  payloads.reserve(outcomes.size());
+  for (const ForkOutcome& o : outcomes) payloads.push_back(o.payload);
+  return payloads;
+}
+
+}  // namespace satin::sim

@@ -122,6 +122,26 @@ TEST(CampaignSpec, OutOfRangeBatchIsAnError) {
   parse_error(R"({"trials": 1, "batch": "eight"})");
 }
 
+TEST(CampaignSpec, BranchesAndForkPrefixParse) {
+  const CampaignSpec spec = parse_campaign_spec(
+      R"({"trials": 4, "branches": 8, "fork_prefix": 0.0})", "t");
+  EXPECT_EQ(spec.branches, 8);
+  EXPECT_EQ(spec.fork_prefix, 0.0);
+  // Default: forking off, pool backend.
+  const CampaignSpec plain = parse_campaign_spec(R"({"trials": 1})", "t");
+  EXPECT_EQ(plain.branches, 0);
+  EXPECT_EQ(plain.fork_prefix, 0.0);
+}
+
+TEST(CampaignSpec, OutOfRangeBranchesIsAnError) {
+  EXPECT_NE(parse_error(R"({"trials": 1, "branches": -1})").find("branches"),
+            std::string::npos);
+  parse_error(R"({"trials": 1, "branches": 5000})");
+  parse_error(R"({"trials": 1, "branches": "four"})");
+  parse_error(R"({"trials": 1, "fork_prefix": -1.0})");
+  parse_error(R"({"trials": 1, "fork_prefix": "warm"})");
+}
+
 TEST(CampaignSpec, ContentHashCoversResultShapingFields) {
   const CampaignSpec a = parse_campaign_spec(R"({"trials": 4})", "a");
   CampaignSpec b = a;
@@ -144,6 +164,8 @@ TEST(CampaignSpec, ContentHashIgnoresRuntimeKnobs) {
   b.batch = 8;
   b.trial_timeout_s = 1.0;
   b.max_retries = 9;
+  b.branches = 8;
+  b.fork_prefix = 3.0;
   // A resume may override all of these without invalidating the journal.
   EXPECT_EQ(a.content_hash(), b.content_hash());
 }

@@ -1,0 +1,281 @@
+// ForkServer failure ladder + determinism contract (sim/fork.h).
+//
+// The COW fork backend earns its keep only if (a) every failure mode —
+// SIGKILL mid-branch, silent wedge, torn pipe record — resolves to
+// exactly-once results via the retry ladder with no orphan processes
+// left behind, and (b) the zero-prefix forked sweep is indistinguishable
+// from the unforked run of record. Both halves are pinned here.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
+#include <stdexcept>
+#include <string>
+
+#include <sys/wait.h>
+
+#include "scenario/experiments.h"
+#include "sim/fork.h"
+
+namespace satin {
+namespace {
+
+std::string tag(std::size_t branch) {
+  return "payload-" + std::to_string(branch);
+}
+
+// After a run every child must be reaped: waitpid(-1) with no children
+// left reports ECHILD. gtest runs tests sequentially in-process, so any
+// child alive here is ForkServer's orphan.
+void expect_no_orphans() {
+  int status = 0;
+  const pid_t p = ::waitpid(-1, &status, WNOHANG);
+  EXPECT_EQ(p, -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(ForkServer, RunsEveryBranchExactlyOnce) {
+  sim::ForkServer server;
+  const auto outcomes =
+      server.run(5, [](std::size_t branch) { return tag(branch); });
+  ASSERT_EQ(outcomes.size(), 5u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EXPECT_EQ(outcomes[i].payload, tag(i));
+    EXPECT_EQ(outcomes[i].attempts, 1);
+  }
+  EXPECT_EQ(server.forks(), 5u);
+  EXPECT_EQ(server.crashes(), 0u);
+  EXPECT_EQ(server.retries(), 0u);
+  expect_no_orphans();
+}
+
+TEST(ForkServer, SigkilledChildIsRetriedExactlyOnce) {
+  sim::ForkServerOptions options;
+  options.chaos_kill_branch = 1;  // dies after its heartbeat, first try only
+  sim::ForkServer server(options);
+  const auto outcomes =
+      server.run(3, [](std::size_t branch) { return tag(branch); });
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EXPECT_EQ(outcomes[i].payload, tag(i));
+  }
+  EXPECT_EQ(outcomes[1].attempts, 2);
+  EXPECT_EQ(outcomes[0].attempts, 1);
+  EXPECT_EQ(outcomes[2].attempts, 1);
+  EXPECT_EQ(server.crashes(), 1u);
+  EXPECT_EQ(server.retries(), 1u);
+  EXPECT_EQ(server.forks(), 4u);
+  expect_no_orphans();
+}
+
+TEST(ForkServer, WedgedChildIsKilledPastTheHeartbeatTimeout) {
+  sim::ForkServerOptions options;
+  options.chaos_hang_branch = 0;
+  options.timeout_s = 0.3;
+  sim::ForkServer server(options);
+  const auto outcomes =
+      server.run(2, [](std::size_t branch) { return tag(branch); });
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  EXPECT_EQ(outcomes[0].payload, tag(0));
+  EXPECT_EQ(outcomes[0].attempts, 2);
+  EXPECT_TRUE(outcomes[1].ok) << outcomes[1].error;
+  EXPECT_EQ(server.timeouts(), 1u);
+  EXPECT_EQ(server.retries(), 1u);
+  expect_no_orphans();
+}
+
+TEST(ForkServer, TornRecordIsDiscardedAndRetried) {
+  sim::ForkServerOptions options;
+  options.chaos_torn_branch = 2;  // first record's checksum is corrupted
+  sim::ForkServer server(options);
+  const auto outcomes =
+      server.run(3, [](std::size_t branch) { return tag(branch); });
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EXPECT_EQ(outcomes[i].payload, tag(i));  // never the torn payload
+  }
+  EXPECT_EQ(outcomes[2].attempts, 2);
+  EXPECT_EQ(server.crashes(), 1u);
+  EXPECT_EQ(server.retries(), 1u);
+  expect_no_orphans();
+}
+
+TEST(ForkServer, DeterministicExceptionIsNotRetried) {
+  sim::ForkServer server;
+  const auto outcomes = server.run(3, [](std::size_t branch) {
+    if (branch == 1) throw std::runtime_error("knob out of range");
+    return tag(branch);
+  });
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].error, "knob out of range");
+  EXPECT_EQ(outcomes[1].attempts, 1);  // an "E" record is final, no re-fork
+  EXPECT_TRUE(outcomes[2].ok);
+  EXPECT_EQ(server.retries(), 0u);
+  expect_no_orphans();
+}
+
+TEST(ForkServer, RunCollectRethrowsTheLowestIndexError) {
+  sim::ForkServer server;
+  try {
+    server.run_collect(4, [](std::size_t branch) {
+      if (branch == 1) throw std::runtime_error("branch one failed");
+      if (branch == 3) throw std::runtime_error("branch three failed");
+      return tag(branch);
+    });
+    FAIL() << "run_collect did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "branch one failed");
+  }
+  expect_no_orphans();
+}
+
+TEST(ForkServer, RetryBudgetExhaustionReportsTheFailure) {
+  sim::ForkServerOptions options;
+  options.max_retries = 1;
+  sim::ForkServer server(options);
+  // Unlike the chaos knobs (first attempt only), this crash is
+  // systematic: every attempt dies, so the ladder must give up.
+  const auto outcomes = server.run(2, [](std::size_t branch) {
+    if (branch == 0) raise(SIGKILL);
+    return tag(branch);
+  });
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_NE(outcomes[0].error.find("crashed"), std::string::npos)
+      << outcomes[0].error;
+  EXPECT_EQ(outcomes[0].attempts, 2);  // initial + max_retries
+  EXPECT_TRUE(outcomes[1].ok);
+  expect_no_orphans();
+}
+
+TEST(ForkServer, RecordChecksumIsFnv1a) {
+  EXPECT_EQ(sim::ForkServer::record_checksum(""),
+            14695981039346656037ull);
+  EXPECT_NE(sim::ForkServer::record_checksum("a"),
+            sim::ForkServer::record_checksum("b"));
+}
+
+TEST(DuelReportCodec, RoundTripsBitForBit) {
+  scenario::DuelReport r;
+  r.rounds = 41;
+  r.alarms = 7;
+  r.full_cycles = 2;
+  r.target_area = 14;
+  r.target_area_rounds = 5;
+  r.target_area_alarms = 5;
+  r.avg_target_gap_s = 141.0625e-3;  // exercises non-trivial mantissa bits
+  r.secure_stays = 99;
+  r.prober_detections = 98;
+  r.false_positives = 1;
+  r.false_negatives = 2;
+  r.evasions_started = 3;
+  r.rearms = 4;
+  r.sim_seconds = 1234.5678901234;
+  r.confirmed_alarms = 6;
+  r.transient_alarms = 8;
+  r.benign_confirmed_alarms = 9;
+  r.watchdog_fires = 10;
+  r.scan_retries = 11;
+  const std::string wire = scenario::encode_duel_report(r);
+  const scenario::DuelReport back = scenario::decode_duel_report(wire);
+  EXPECT_EQ(scenario::encode_duel_report(back), wire);
+  EXPECT_EQ(back.rounds, r.rounds);
+  EXPECT_EQ(back.target_area, r.target_area);
+  EXPECT_EQ(back.avg_target_gap_s, r.avg_target_gap_s);
+  EXPECT_EQ(back.sim_seconds, r.sim_seconds);
+  EXPECT_EQ(back.scan_retries, r.scan_retries);
+
+  // A negative target_area (no target round yet) survives the u64 wire.
+  scenario::DuelReport none;
+  none.target_area = -1;
+  EXPECT_EQ(scenario::decode_duel_report(scenario::encode_duel_report(none))
+                .target_area,
+            -1);
+
+  EXPECT_THROW(scenario::decode_duel_report("not a record"),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::decode_duel_report(wire.substr(0, wire.size() / 2)),
+               std::invalid_argument);
+}
+
+// A fast sweep config: a handful of short duels, distinct per-trial
+// platform seeds (run_duel_sweep derives them from root_seed).
+scenario::DuelSweepConfig quick_sweep(std::size_t trials) {
+  scenario::DuelSweepConfig config;
+  config.trials = trials;
+  config.jobs = 2;
+  config.root_seed = 20260809;
+  config.duel.satin.tgoal_s = 10.0;
+  config.duel.rounds_target = 3;
+  return config;
+}
+
+TEST(ForkedDuelSweep, ZeroPrefixMatchesTheUnforkedOracle) {
+  const auto unforked = scenario::run_duel_sweep(quick_sweep(4));
+
+  auto forked_config = quick_sweep(4);
+  forked_config.branches = 2;
+  const auto forked = scenario::run_duel_sweep(forked_config);
+
+  ASSERT_EQ(forked.reports.size(), unforked.reports.size());
+  for (std::size_t i = 0; i < forked.reports.size(); ++i) {
+    EXPECT_EQ(scenario::encode_duel_report(forked.reports[i]),
+              scenario::encode_duel_report(unforked.reports[i]))
+        << "trial " << i;
+  }
+  expect_no_orphans();
+}
+
+TEST(ForkedDuelSweep, BranchCountAboveTrialsClampsToTrials) {
+  const auto unforked = scenario::run_duel_sweep(quick_sweep(3));
+
+  auto forked_config = quick_sweep(3);
+  forked_config.branches = 8;  // more branches than trials
+  const auto forked = scenario::run_duel_sweep(forked_config);
+
+  ASSERT_EQ(forked.reports.size(), 3u);
+  for (std::size_t i = 0; i < forked.reports.size(); ++i) {
+    EXPECT_EQ(scenario::encode_duel_report(forked.reports[i]),
+              scenario::encode_duel_report(unforked.reports[i]))
+        << "trial " << i;
+  }
+  expect_no_orphans();
+}
+
+TEST(ForkedDuelSweep, BranchesAndBatchAreMutuallyExclusive) {
+  auto config = quick_sweep(2);
+  config.branches = 2;
+  config.batch = 4;
+  EXPECT_THROW(scenario::run_duel_sweep(config), std::invalid_argument);
+}
+
+TEST(ForkedDuelSweep, WarmPrefixDefaultDeltaDivergesFromTheOracle) {
+  const auto oracle = scenario::run_duel_sweep(quick_sweep(2));
+
+  auto warm_config = quick_sweep(2);
+  warm_config.branches = 2;
+  warm_config.fork_prefix_s = 2.0;  // default delta: RNG perturbation
+  const auto warm = scenario::run_duel_sweep(warm_config);
+
+  ASSERT_EQ(warm.reports.size(), 2u);
+  // The warm run is self-consistent but NOT the oracle: at least one
+  // field of one report must differ (seed perturbation changed the
+  // attacker/jitter draws past the prefix).
+  bool any_diff = false;
+  for (std::size_t i = 0; i < warm.reports.size(); ++i) {
+    any_diff = any_diff ||
+               scenario::encode_duel_report(warm.reports[i]) !=
+                   scenario::encode_duel_report(oracle.reports[i]);
+  }
+  EXPECT_TRUE(any_diff);
+  expect_no_orphans();
+}
+
+}  // namespace
+}  // namespace satin

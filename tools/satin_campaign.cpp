@@ -11,6 +11,8 @@
 //   --journal=PATH    journal file     (default: SPEC + ".journal")
 //   --out=PATH        stats JSON       (default: SPEC + ".stats.json")
 //   --jobs=N          worker processes (default: spec's `jobs`)
+//   --branches=N      COW fork branch group size (default: spec's
+//                     `branches`; 0 = the persistent worker pool)
 //   --timeout=SECS    per-trial wedge timeout (default: spec's)
 //   --max-retries=N   per-trial retry budget  (default: spec's)
 //   --chaos-kill-trial=I / --chaos-hang-trial=I / --chaos-kill-after=N
@@ -40,7 +42,8 @@ using satin::campaign::CampaignSpec;
 int usage() {
   std::fprintf(stderr,
                "usage: satin_campaign run      SPEC.json [--journal=P] "
-               "[--out=P] [--jobs=N] [--timeout=S] [--max-retries=N]\n"
+               "[--out=P] [--jobs=N] [--branches=N] [--timeout=S] "
+               "[--max-retries=N]\n"
                "       satin_campaign resume   SPEC.json [same flags]\n"
                "       satin_campaign status   JOURNAL\n"
                "       satin_campaign validate SPEC.json\n");
@@ -109,9 +112,13 @@ int cmd_validate(const char* spec_path) {
   return 0;
 }
 
-int cmd_run(int argc, char** argv, bool resume) {
+// `branches_override` carries ObsSession's parsed --branches= value
+// (ObsSession consumes that flag before the subcommand sees argv);
+// -1 = flag absent, defer to the spec.
+int cmd_run(int argc, char** argv, bool resume, int branches_override) {
   CampaignOptions options;
   options.require_existing_journal = resume;
+  options.branches = branches_override;
   options.journal_path = take_flag(argc, argv, "journal");
   options.stats_path = take_flag(argc, argv, "out");
   const std::string jobs = take_flag(argc, argv, "jobs");
@@ -186,7 +193,8 @@ int main(int argc, char** argv) {
     for (int i = 1; i + 1 < argc; ++i) argv[i] = argv[i + 1];
     --argc;
     argv[argc] = nullptr;
-    return cmd_run(argc, argv, cmd == "resume");
+    return cmd_run(argc, argv, cmd == "resume",
+                   session.branches_requested() ? session.branches() : -1);
   }
   if (cmd == "status") {
     if (argc != 3) return usage();
